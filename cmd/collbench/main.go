@@ -1,0 +1,43 @@
+// Command collbench benchmarks the three allreduce implementations at one
+// configuration: traditional MPI_Allreduce (host-staged), the partitioned
+// allreduce (GPU-initiated, Algorithm 2 progression), and the NCCL-style
+// fused ring.
+//
+// Usage:
+//
+//	collbench -grid 1024 -nodes 2 -userparts 4
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"mpipart/internal/bench"
+	"mpipart/internal/cluster"
+)
+
+func main() {
+	var (
+		grid  = flag.Int("grid", 1024, "kernel grid size (8 KiB per grid)")
+		nodes = flag.Int("nodes", 1, "nodes (1 = four GH200, 2 = eight GH200)")
+		up    = flag.Int("userparts", 4, "user partitions of the partitioned allreduce")
+	)
+	flag.Parse()
+
+	topo := cluster.OneNodeGH200()
+	if *nodes == 2 {
+		topo = cluster.TwoNodeGH200()
+	}
+	cfg := bench.AllreduceConfig{Topo: topo, Grid: *grid, UserParts: *up}
+	bytes := float64(*grid) * 1024 * 8
+
+	tr := bench.MeasureMPIAllreduce(cfg)
+	pa := bench.MeasurePartitionedAllreduce(cfg)
+	nc := bench.MeasureNCCLAllreduce(cfg)
+	fmt.Printf("allreduce of %.1f MiB across %d GPUs (kernel + communication)\n",
+		bytes/(1<<20), topo.TotalGPUs())
+	fmt.Printf("MPI_Allreduce        : %12.3f us\n", tr.Micros())
+	fmt.Printf("partitioned allreduce: %12.3f us   (%.1fx over MPI)\n", pa.Micros(), float64(tr)/float64(pa))
+	fmt.Printf("NCCL                 : %12.3f us   (partitioned trails by %.1f us)\n",
+		nc.Micros(), (pa - nc).Micros())
+}

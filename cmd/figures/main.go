@@ -1,0 +1,91 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Section VI) on the simulated GH200 testbed.
+//
+// Usage:
+//
+//	figures -all                 # everything (default)
+//	figures -fig 4               # one figure
+//	figures -table 1             # Table I
+//	figures -max-grid 8192       # raise the sweep cap (figs 2,4,5,6,7,10,11)
+//	figures -max-mult 32         # Jacobi multiplier cap (figs 8,9)
+//	figures -csv                 # CSV instead of aligned tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpipart/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure number to regenerate (2-11); 0 = per -all")
+		table   = flag.Int("table", 0, "table number to regenerate (1)")
+		all     = flag.Bool("all", false, "regenerate every figure and table")
+		maxGrid = flag.Int("max-grid", 2048, "largest kernel grid size in sweeps")
+		maxMult = flag.Int("max-mult", 32, "largest Jacobi problem multiplier")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	if *fig == 0 && *table == 0 {
+		*all = true
+	}
+	emit := func(t *bench.Table) {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+	}
+	run := func(n int) {
+		switch n {
+		case 2:
+			// Fig. 2 has no data buffers, so the full paper range is cheap.
+			mg := *maxGrid
+			if mg < 131072 {
+				mg = 131072
+			}
+			emit(bench.Fig2(mg))
+		case 3:
+			emit(bench.Fig3())
+		case 4:
+			emit(bench.Fig4(*maxGrid))
+		case 5:
+			emit(bench.Fig5(*maxGrid))
+		case 6:
+			emit(bench.Fig6(*maxGrid))
+		case 7:
+			emit(bench.Fig7(*maxGrid))
+		case 8:
+			emit(bench.Fig8(*maxMult))
+		case 9:
+			emit(bench.Fig9(*maxMult))
+		case 10:
+			emit(bench.Fig10(*maxGrid))
+		case 11:
+			emit(bench.Fig11(*maxGrid))
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", n)
+			os.Exit(2)
+		}
+	}
+	if *all {
+		for n := 2; n <= 11; n++ {
+			run(n)
+		}
+		emit(bench.TableI())
+		return
+	}
+	if *fig != 0 {
+		run(*fig)
+	}
+	if *table == 1 {
+		emit(bench.TableI())
+	} else if *table != 0 {
+		fmt.Fprintf(os.Stderr, "figures: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,30 @@
+// Command halobench runs the halo-exchange micro-benchmark (after the
+// partitioned benchmark suite of Temuçin et al., the paper's reference
+// [16]): per-iteration time of a 2-D four-neighbour halo exchange,
+// traditional vs partitioned, across halo sizes.
+//
+// Usage:
+//
+//	halobench -nodes 2 -max 65536
+package main
+
+import (
+	"flag"
+	"os"
+
+	"mpipart/internal/bench"
+	"mpipart/internal/cluster"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 1, "nodes (1 = four GH200 2x2, 2 = eight GH200 4x2)")
+		max   = flag.Int("max", 1<<16, "largest halo size in elements (8 B each)")
+	)
+	flag.Parse()
+	topo := cluster.OneNodeGH200()
+	if *nodes == 2 {
+		topo = cluster.TwoNodeGH200()
+	}
+	bench.HaloTable(topo, *max).Fprint(os.Stdout)
+}

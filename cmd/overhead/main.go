@@ -1,0 +1,14 @@
+// Command overhead regenerates Table I: the measured overheads of the
+// partitioned API calls (initialization, device-request creation, and
+// buffer-preparation synchronization).
+package main
+
+import (
+	"os"
+
+	"mpipart/internal/bench"
+)
+
+func main() {
+	bench.TableI().Fprint(os.Stdout)
+}

@@ -1,0 +1,3 @@
+module mpipart
+
+go 1.22

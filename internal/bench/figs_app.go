@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"mpipart/internal/cluster"
+	"mpipart/internal/dl"
+	"mpipart/internal/jacobi"
+	"mpipart/internal/mpi"
+	"mpipart/internal/nccl"
+)
+
+// JacobiBaseTile is the per-GPU tile edge at multiplier 1; the paper varies
+// the multiplier from 1 to 32 in powers of two.
+const JacobiBaseTile = 32
+
+// JacobiIters is the number of sweeps per measurement.
+const JacobiIters = 4
+
+// MeasureJacobi runs one Jacobi variant SPMD and returns rank 0's stats.
+func MeasureJacobi(topo cluster.Topology, cfg jacobi.Config,
+	variant func(r *mpi.Rank, cfg jacobi.Config) jacobi.Stats) jacobi.Stats {
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	var out jacobi.Stats
+	w.Spawn(func(r *mpi.Rank) {
+		st := variant(r, cfg)
+		if r.ID == 0 {
+			out = st
+		}
+	})
+	if err := w.Run(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func jacobiFigure(title string, topo cluster.Topology, maxMult int) *Table {
+	tb := &Table{
+		Title:   title,
+		Columns: []string{"multiplier", "tile", "trad_GFLOPs", "part_GFLOPs", "speedup"},
+	}
+	px, py := jacobi.Decompose(topo.TotalGPUs())
+	for mult := 1; mult <= maxMult; mult *= 2 {
+		tile := JacobiBaseTile * mult
+		cfg := jacobi.Config{PX: px, PY: py, NX: tile, NY: tile, Iters: JacobiIters}
+		tr := MeasureJacobi(topo, cfg, jacobi.Traditional)
+		pa := MeasureJacobi(topo, cfg, jacobi.Partitioned)
+		tb.AddRow(mult, tile, tr.GFLOPs, pa.GFLOPs, pa.GFLOPs/tr.GFLOPs)
+	}
+	tb.Note("paper: best speedup 1.06x on one node, 1.30x on two; gains largest at small sizes, then plateau")
+	return tb
+}
+
+// Fig8 regenerates Figure 8: Jacobi GFLOP/s on four GH200 (2x2 tiles).
+func Fig8(maxMult int) *Table {
+	return jacobiFigure("Fig. 8: Jacobi solver GFLOP/s, four GH200 (2x2)", cluster.OneNodeGH200(), maxMult)
+}
+
+// Fig9 regenerates Figure 9: Jacobi GFLOP/s on eight GH200 (4x2 tiles).
+func Fig9(maxMult int) *Table {
+	return jacobiFigure("Fig. 9: Jacobi solver GFLOP/s, eight GH200 (4x2)", cluster.TwoNodeGH200(), maxMult)
+}
+
+// DLSteps is the number of training steps per measurement (the partitioned
+// variant's first step is persistent-channel warmup).
+const DLSteps = 3
+
+// MeasureDL runs one deep-learning variant SPMD and returns rank 0's stats.
+func MeasureDL(topo cluster.Topology, cfg dl.Config,
+	variant func(r *mpi.Rank, comm *nccl.Comm, cfg dl.Config) dl.Stats) dl.Stats {
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	comm := nccl.NewComm(w)
+	var out dl.Stats
+	w.Spawn(func(r *mpi.Rank) {
+		st := variant(r, comm, cfg)
+		if r.ID == 0 {
+			out = st
+		}
+	})
+	if err := w.Run(); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func dlFigure(title string, topo cluster.Topology, maxGrid int) *Table {
+	tb := &Table{
+		Title:   title,
+		Columns: []string{"grid", "MiB", "mpi_us/step", "partitioned_us/step", "nccl_us/step"},
+	}
+	for _, g := range gridSweep(maxGrid) {
+		if g < 128 {
+			continue
+		}
+		cfg := dl.Config{Params: g * 1024, Steps: DLSteps, UserParts: 4}
+		tr := MeasureDL(topo, cfg, func(r *mpi.Rank, _ *nccl.Comm, c dl.Config) dl.Stats {
+			return dl.MPIAllreduce(r, c)
+		})
+		pa := MeasureDL(topo, cfg, func(r *mpi.Rank, _ *nccl.Comm, c dl.Config) dl.Stats {
+			return dl.PartitionedAllreduce(r, c)
+		})
+		nc := MeasureDL(topo, cfg, dl.NCCLAllreduce)
+		tb.AddRow(g, float64(bytesOf(g))/(1<<20), tr.StepTime.Micros(), pa.StepTime.Micros(),
+			nc.StepTime.Micros())
+	}
+	tb.Note("measurement includes MPI_Start and MPIX_Pbuf_prepare for the partitioned variant (training-loop accounting, Section VI-D2)")
+	tb.Note("paper: partitioned far below MPI_Allreduce; NCCL best (the kernel is dominated by the collective)")
+	return tb
+}
+
+// Fig10 regenerates Figure 10: BCE deep-learning kernel on four GH200.
+func Fig10(maxGrid int) *Table {
+	return dlFigure("Fig. 10: deep-learning kernel, four GH200", cluster.OneNodeGH200(), maxGrid)
+}
+
+// Fig11 regenerates Figure 11: BCE deep-learning kernel on eight GH200.
+func Fig11(maxGrid int) *Table {
+	return dlFigure("Fig. 11: deep-learning kernel, eight GH200", cluster.TwoNodeGH200(), maxGrid)
+}

@@ -1,0 +1,100 @@
+// Package bench is the harness that regenerates every table and figure of
+// the paper's evaluation (Section VI): workload generators, parameter
+// sweeps, the baselines, and printers that emit the same rows/series the
+// paper reports. cmd/figures drives it; the repo-root benchmarks wrap each
+// entry point in a testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result set for one figure or table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row; values are Sprint-ed.
+func (t *Table) AddRow(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note records a caption line printed under the table.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for i := range t.Columns {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		for i, v := range r {
+			fmt.Fprintf(w, "%-*s  ", widths[i], v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// Cell returns row i, named column (tests use it to assert on results).
+func (t *Table) Cell(i int, col string) string {
+	for j, c := range t.Columns {
+		if c == col {
+			return t.Rows[i][j]
+		}
+	}
+	panic("bench: unknown column " + col)
+}
+
+// gridSweep returns the power-of-two grid sizes from 1 to max inclusive.
+func gridSweep(max int) []int {
+	var gs []int
+	for g := 1; g <= max; g *= 2 {
+		gs = append(gs, g)
+	}
+	return gs
+}

@@ -1,0 +1,555 @@
+package coll
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+// ---- Schedule construction (Algorithm 1) ----
+
+func TestRingScheduleShape(t *testing.T) {
+	for _, P := range []int{2, 3, 4, 8} {
+		for rank := 0; rank < P; rank++ {
+			s := RingAllreduceSchedule(rank, P)
+			if got := s.NumSteps(); got != 2*(P-1) {
+				t.Fatalf("P=%d rank=%d steps=%d, want %d", P, rank, got, 2*(P-1))
+			}
+			if s.Chunks != P {
+				t.Fatalf("chunks = %d, want %d", s.Chunks, P)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("P=%d rank=%d: %v", P, rank, err)
+			}
+			for i, st := range s.Steps {
+				if (i < P-1) != st.Reduce {
+					t.Fatalf("P=%d step %d reduce=%v", P, i, st.Reduce)
+				}
+				if len(st.In) != 1 || len(st.Out) != 1 {
+					t.Fatalf("ring step with in/out %d/%d", len(st.In), len(st.Out))
+				}
+				if st.In[0].Nbr != (rank-1+P)%P || st.Out[0].Nbr != (rank+1)%P {
+					t.Fatalf("ring neighbours wrong")
+				}
+				// Paper's offsets.
+				if st.Out[0].Chunk != (rank+2*P-i)%P {
+					t.Fatalf("R offset wrong at step %d", i)
+				}
+				if st.In[0].Chunk != (rank+2*P-i-1)%P {
+					t.Fatalf("A offset wrong at step %d", i)
+				}
+			}
+		}
+	}
+}
+
+// Property: in a ring schedule the chunk a rank receives at step i equals
+// the chunk its predecessor sends at step i (the ring is consistent), and
+// the 2(P-1) sends cover every chunk once or twice.
+func TestRingScheduleConsistencyProperty(t *testing.T) {
+	f := func(pp uint8) bool {
+		P := int(pp)%7 + 2
+		scheds := make([]*Schedule, P)
+		for r := 0; r < P; r++ {
+			scheds[r] = RingAllreduceSchedule(r, P)
+		}
+		for r := 0; r < P; r++ {
+			prev := (r - 1 + P) % P
+			counts := make([]int, P)
+			total := 0
+			for i, st := range scheds[r].Steps {
+				if st.In[0].Chunk != scheds[prev].Steps[i].Out[0].Chunk {
+					return false
+				}
+				counts[st.Out[0].Chunk]++
+				total++
+			}
+			if total != 2*(P-1) {
+				return false
+			}
+			for _, c := range counts {
+				if c < 1 || c > 2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastScheduleShape(t *testing.T) {
+	for _, P := range []int{2, 3, 4, 8} {
+		for root := 0; root < P; root++ {
+			covered := map[int]bool{root: true}
+			for rank := 0; rank < P; rank++ {
+				s := BinomialBcastSchedule(rank, P, root)
+				if err := s.Validate(); err != nil {
+					t.Fatalf("P=%d rank=%d: %v", P, rank, err)
+				}
+				for _, st := range s.Steps {
+					if st.Reduce {
+						t.Fatal("bcast must be all NOPs")
+					}
+					for _, eu := range st.Out {
+						covered[eu.Nbr] = true
+					}
+				}
+			}
+			if len(covered) != P {
+				t.Fatalf("P=%d root=%d covers %d ranks", P, root, len(covered))
+			}
+		}
+	}
+}
+
+func TestScheduleValidateCatchesBadSchedules(t *testing.T) {
+	bad := &Schedule{Rank: 0, P: 2, Chunks: 1,
+		SendUses: map[int]int{1: 1},
+		RecvUses: map[int]int{},
+		Steps: []Step{
+			{Out: []EdgeUse{{Nbr: 1, Use: 0, Chunk: 0}}},
+			{Out: []EdgeUse{{Nbr: 1, Use: 0, Chunk: 0}}}, // slot reuse
+		},
+	}
+	if bad.Validate() == nil {
+		t.Fatal("slot reuse not caught")
+	}
+	bad2 := &Schedule{Rank: 0, P: 2, Chunks: 1,
+		SendUses: map[int]int{1: 2}, // declared but unused slot
+		RecvUses: map[int]int{},
+		Steps:    []Step{{Out: []EdgeUse{{Nbr: 1, Use: 0, Chunk: 0}}}},
+	}
+	if bad2.Validate() == nil {
+		t.Fatal("unused slot not caught")
+	}
+	bad3 := &Schedule{Rank: 0, P: 2, Chunks: 0}
+	if bad3.Validate() == nil {
+		t.Fatal("zero chunks not caught")
+	}
+	bad4 := &Schedule{Rank: 0, P: 2, Chunks: 1,
+		SendUses: map[int]int{0: 1}, // self edge
+		RecvUses: map[int]int{},
+		Steps:    []Step{{Out: []EdgeUse{{Nbr: 0, Use: 0, Chunk: 0}}}},
+	}
+	if bad4.Validate() == nil {
+		t.Fatal("self edge not caught")
+	}
+}
+
+// ---- Full collective execution ----
+
+// runAllreduce executes a host-initiated partitioned allreduce on the given
+// topology and returns every rank's final buffer.
+func runAllreduce(t *testing.T, topo cluster.Topology, n, userParts, epochs int,
+	fill func(rank, epoch, i int) float64) [][]float64 {
+	t.Helper()
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	P := w.Size()
+	bufs := make([][]float64, P)
+	results := make([][]float64, P)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		bufs[r.ID] = buf
+		req := PallreduceInit(p, r, buf, userParts, mpi.OpSum)
+		for e := 0; e < epochs; e++ {
+			for i := range buf {
+				buf[i] = fill(r.ID, e, i)
+			}
+			req.Start(p)
+			req.PbufPrepare(p)
+			for u := 0; u < userParts; u++ {
+				req.Pready(p, u)
+			}
+			req.Wait(p)
+			r.Barrier(p)
+		}
+		results[r.ID] = append([]float64(nil), buf...)
+		req.Free()
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func checkAllreduceSum(t *testing.T, results [][]float64, P, lastEpoch int,
+	fill func(rank, epoch, i int) float64) {
+	t.Helper()
+	for i := range results[0] {
+		want := 0.0
+		for rk := 0; rk < P; rk++ {
+			want += fill(rk, lastEpoch, i)
+		}
+		for rk := 0; rk < P; rk++ {
+			if math.Abs(results[rk][i]-want) > 1e-9 {
+				t.Fatalf("rank %d elem %d = %v, want %v", rk, i, results[rk][i], want)
+			}
+		}
+	}
+}
+
+func TestPartitionedAllreduceOneNode(t *testing.T) {
+	fill := func(rank, epoch, i int) float64 { return float64(rank+1) * float64(i+1) }
+	res := runAllreduce(t, cluster.OneNodeGH200(), 64, 2, 1, fill)
+	checkAllreduceSum(t, res, 4, 0, fill)
+}
+
+func TestPartitionedAllreduceTwoNodes(t *testing.T) {
+	fill := func(rank, epoch, i int) float64 { return float64(rank) + float64(i)*0.5 }
+	res := runAllreduce(t, cluster.TwoNodeGH200(), 128, 4, 1, fill)
+	checkAllreduceSum(t, res, 8, 0, fill)
+}
+
+func TestPartitionedAllreduceTwoRanks(t *testing.T) {
+	fill := func(rank, epoch, i int) float64 { return float64(rank*10 + i) }
+	res := runAllreduce(t, cluster.Topology{Nodes: 1, GPUsPerNode: 2}, 16, 1, 1, fill)
+	checkAllreduceSum(t, res, 2, 0, fill)
+}
+
+func TestPartitionedAllreducePersistent(t *testing.T) {
+	fill := func(rank, epoch, i int) float64 { return float64(rank + epoch*7 + i) }
+	res := runAllreduce(t, cluster.OneNodeGH200(), 32, 2, 3, fill)
+	checkAllreduceSum(t, res, 4, 2, fill)
+}
+
+func TestPartitionedAllreduceUnevenSizes(t *testing.T) {
+	// 50 elements, 3 user partitions, P=4 chunks: nothing divides evenly.
+	fill := func(rank, epoch, i int) float64 { return float64(rank ^ i) }
+	res := runAllreduce(t, cluster.OneNodeGH200(), 50, 3, 1, fill)
+	checkAllreduceSum(t, res, 4, 0, fill)
+}
+
+// Property: partitioned allreduce equals the sequential sum for random
+// shapes.
+func TestPartitionedAllreduceProperty(t *testing.T) {
+	f := func(nn, uu uint8) bool {
+		n := int(nn)%60 + 8
+		up := int(uu)%3 + 1
+		fill := func(rank, epoch, i int) float64 { return float64((rank + 1) * (i + 3) % 17) }
+		w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+		P := w.Size()
+		results := make([][]float64, P)
+		w.Spawn(func(r *mpi.Rank) {
+			p := r.Proc()
+			buf := r.Dev.Alloc(n)
+			for i := range buf {
+				buf[i] = fill(r.ID, 0, i)
+			}
+			req := PallreduceInit(p, r, buf, up, mpi.OpSum)
+			req.Start(p)
+			req.PbufPrepare(p)
+			for u := 0; u < up; u++ {
+				req.Pready(p, u)
+			}
+			req.Wait(p)
+			results[r.ID] = append([]float64(nil), buf...)
+		})
+		if err := w.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for rk := 0; rk < P; rk++ {
+				want += fill(rk, 0, i)
+			}
+			for rk := 0; rk < P; rk++ {
+				if math.Abs(results[rk][i]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceInitiatedAllreduce: kernels compute the local contribution and
+// mark user partitions ready from inside the kernel (block-level).
+func TestDeviceInitiatedAllreduce(t *testing.T) {
+	const blockSize = 64
+	const userParts = 2
+	const blocksPerUP = 2
+	const grid = userParts * blocksPerUP
+	const n = grid * blockSize
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	P := w.Size()
+	results := make([][]float64, P)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		req := PallreduceInit(p, r, buf, userParts, mpi.OpSum)
+		req.Start(p)
+		req.PbufPrepare(p)
+		dev := req.DeviceHandle(p, blocksPerUP)
+		r.Stream.Launch(gpu.KernelSpec{
+			Name: "compute+pready", Grid: grid, Block: blockSize,
+			Body: func(b *gpu.BlockCtx) {
+				b.ForEachThread(func(i int) { buf[i] = float64(r.ID + i) })
+				dev.PreadyBlockAggregated(b, b.Idx/blocksPerUP)
+			},
+		})
+		req.Wait(p)
+		results[r.ID] = append([]float64(nil), buf...)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for rk := 0; rk < P; rk++ {
+			want += float64(rk + i)
+		}
+		for rk := 0; rk < P; rk++ {
+			if math.Abs(results[rk][i]-want) > 1e-9 {
+				t.Fatalf("rank %d elem %d = %v, want %v", rk, i, results[rk][i], want)
+			}
+		}
+	}
+}
+
+// TestPartitionedBcast: binomial-tree broadcast from each root delivers the
+// root's buffer everywhere; non-roots never call Pready.
+func TestPartitionedBcast(t *testing.T) {
+	for _, root := range []int{0, 2} {
+		const n = 24
+		w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+		P := w.Size()
+		results := make([][]float64, P)
+		w.Spawn(func(r *mpi.Rank) {
+			p := r.Proc()
+			buf := r.Dev.Alloc(n)
+			if r.ID == root {
+				for i := range buf {
+					buf[i] = float64(100*root + i)
+				}
+			}
+			req := PbcastInit(p, r, buf, 2, root)
+			req.Start(p)
+			req.PbufPrepare(p)
+			if r.ID == root {
+				req.Pready(p, 0)
+				req.Pready(p, 1)
+			}
+			req.Wait(p)
+			results[r.ID] = append([]float64(nil), buf...)
+		})
+		if err := w.Run(); err != nil {
+			t.Fatalf("root %d: %v", root, err)
+		}
+		for rk := 0; rk < P; rk++ {
+			for i := 0; i < n; i++ {
+				if results[rk][i] != float64(100*root+i) {
+					t.Fatalf("root %d rank %d elem %d = %v", root, rk, i, results[rk][i])
+				}
+			}
+		}
+	}
+}
+
+// TestParrivedCompletion: the collective Parrived flips exactly when a user
+// partition finishes the schedule.
+func TestParrivedCompletion(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(16)
+		req := PallreduceInit(p, r, buf, 2, mpi.OpSum)
+		req.Start(p)
+		req.PbufPrepare(p)
+		if req.Parrived(0) || req.Parrived(1) {
+			t.Error("Parrived true before any work")
+		}
+		req.Pready(p, 0)
+		req.Pready(p, 1)
+		req.Wait(p)
+		if !req.Parrived(0) || !req.Parrived(1) || !req.Done() {
+			t.Error("Parrived false after Wait")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectiveOrderingViolations: API misuse panics deterministically.
+func TestCollectiveOrderingViolations(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(8)
+		req := PallreduceInit(p, r, buf, 1, mpi.OpSum)
+		mustPanic := func(name string, fn func()) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}
+		mustPanic("Pready before Start", func() { req.Pready(p, 0) })
+		mustPanic("Wait before Start", func() { req.Wait(p) })
+		mustPanic("PbufPrepare before Start", func() { req.PbufPrepare(p) })
+		mustPanic("bad partition", func() {
+			req.Start(p)
+			req.Pready(p, 5)
+		})
+	})
+	// The started-but-never-finished collective leaves rank procs blocked
+	// only if channels partially prepared; here nothing blocks: Start was
+	// called but PbufPrepare was not, and the engine parks.
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitValidation(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for zero user partitions")
+			}
+		}()
+		PallreduceInit(p, r, r.Dev.Alloc(8), 0, mpi.OpSum)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedFasterThanHostStagedAllreduce reproduces the headline of
+// Figs. 6/7 at the correctness level: the partitioned allreduce completes
+// far faster than the traditional host-staged MPI_Allreduce for a
+// GPU-resident buffer.
+func TestPartitionedFasterThanHostStagedAllreduce(t *testing.T) {
+	const n = 1 << 18 // 2 MiB
+	var tradTime, partTime sim.Duration
+
+	wt := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	wt.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		r.Barrier(p)
+		t0 := p.Now()
+		r.Allreduce(p, buf, mpi.OpSum)
+		r.Barrier(p)
+		if r.ID == 0 {
+			tradTime = sim.Duration(p.Now() - t0)
+		}
+	})
+	if err := wt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	wp := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	wp.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		req := PallreduceInit(p, r, buf, 4, mpi.OpSum)
+		// Warm the channel (first epoch pays setup).
+		req.Start(p)
+		req.PbufPrepare(p)
+		for u := 0; u < 4; u++ {
+			req.Pready(p, u)
+		}
+		req.Wait(p)
+		r.Barrier(p)
+		t0 := p.Now()
+		req.Start(p)
+		req.PbufPrepare(p)
+		for u := 0; u < 4; u++ {
+			req.Pready(p, u)
+		}
+		req.Wait(p)
+		r.Barrier(p)
+		if r.ID == 0 {
+			partTime = sim.Duration(p.Now() - t0)
+		}
+	})
+	if err := wp.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if partTime >= tradTime {
+		t.Fatalf("partitioned (%v) should beat host-staged (%v)", partTime, tradTime)
+	}
+	if float64(tradTime)/float64(partTime) < 3 {
+		t.Fatalf("expected a large gap, got %.2fx (trad %v vs part %v)",
+			float64(tradTime)/float64(partTime), tradTime, partTime)
+	}
+}
+
+// TestDeviceCollThreadBinding drives the unaggregated thread-level device
+// binding of the collective handle.
+func TestDeviceCollThreadBinding(t *testing.T) {
+	const up = 4
+	const n = up * 64
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	P := w.Size()
+	results := make([][]float64, P)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		for i := range buf {
+			buf[i] = float64(r.ID)
+		}
+		req := PallreduceInit(p, r, buf, up, mpi.OpSum)
+		req.Start(p)
+		req.PbufPrepare(p)
+		dev := req.DeviceHandle(p, 1)
+		r.Stream.Launch(gpu.KernelSpec{
+			Name: "thread-coll", Grid: 1, Block: n,
+			Body: func(b *gpu.BlockCtx) {
+				dev.PreadyThread(b, func(gtid int) int { return gtid * up / n })
+			},
+		})
+		req.Wait(p)
+		results[r.ID] = append([]float64(nil), buf...)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(0 + 1 + 2 + 3)
+	for rk := 0; rk < P; rk++ {
+		for i := 0; i < n; i++ {
+			if results[rk][i] != want {
+				t.Fatalf("rank %d elem %d = %v, want %v", rk, i, results[rk][i], want)
+			}
+		}
+	}
+}
+
+// TestDeviceHandleIdempotent: DeviceHandle returns the same handle and
+// charges setup once.
+func TestDeviceHandleIdempotent(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(8)
+		req := PallreduceInit(p, r, buf, 1, mpi.OpSum)
+		d1 := req.DeviceHandle(p, 2)
+		t0 := p.Now()
+		d2 := req.DeviceHandle(p, 2)
+		if d1 != d2 {
+			t.Error("DeviceHandle not idempotent")
+		}
+		if p.Now() != t0 {
+			t.Error("second DeviceHandle charged time")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

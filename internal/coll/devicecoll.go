@@ -1,0 +1,75 @@
+package coll
+
+import (
+	"mpipart/internal/gpu"
+	"mpipart/internal/sim"
+)
+
+// DeviceColl is the device-side handle of a partitioned collective: the
+// GPU-resident structure a kernel uses to mark user partitions ready
+// (the collective analogue of MPIX_Prequest, Section VI-B). It carries the
+// pinned-host-memory notification flags and the multi-block aggregation
+// counters in GPU global memory.
+type DeviceColl struct {
+	c         *Request
+	pending   *gpu.Flags
+	counters  []int64
+	threshold int
+}
+
+// DeviceHandle creates (once) the device handle, charging the same blocking
+// setup as MPIX_Prequest_create: pinned flag allocation, device structure
+// allocation, flag registration, and the host→device copy.
+// blocksPerUP is the number of device-side contributions (block Pready
+// calls) aggregated into one user partition; zero means 1.
+func (c *Request) DeviceHandle(p *sim.Proc, blocksPerUP int) *DeviceColl {
+	c.checkUsable()
+	if c.devHandle != nil {
+		return c.devHandle
+	}
+	if blocksPerUP <= 0 {
+		blocksPerUP = 1
+	}
+	m := c.R.W.Model
+	p.Wait(m.HostAllocPinnedCost)
+	p.Wait(m.DeviceAllocCost)
+	p.Wait(m.MemMapCost(int64(8 * c.up)))
+	c.R.Dev.MemcpyH2D(p, int64(64+16*c.up))
+	c.devHandle = &DeviceColl{
+		c:         c,
+		pending:   c.userPending,
+		counters:  make([]int64, c.up),
+		threshold: blocksPerUP,
+	}
+	return c.devHandle
+}
+
+func (d *DeviceColl) resetEpoch() {
+	for i := range d.counters {
+		d.counters[i] = 0
+	}
+}
+
+// PreadyBlock marks user partition up ready from one block: __syncthreads,
+// then a single store into pinned host memory.
+func (d *DeviceColl) PreadyBlock(b *gpu.BlockCtx, up int) {
+	b.SyncThreads()
+	b.WriteHostFlag(d.pending, up, 1)
+}
+
+// PreadyBlockAggregated aggregates multiple blocks into one user-partition
+// notification via the device counters.
+func (d *DeviceColl) PreadyBlockAggregated(b *gpu.BlockCtx, up int) {
+	b.SyncThreads()
+	if b.AtomicAdd(&d.counters[up], 1) == int64(d.threshold) {
+		b.WriteHostFlag(d.pending, up, 1)
+	}
+}
+
+// PreadyThread is the unaggregated binding: every thread stores its own
+// partition's notification (threads map user partitions directly).
+func (d *DeviceColl) PreadyThread(b *gpu.BlockCtx, upForThread func(gtid int) int) {
+	b.ForEachThread(func(gtid int) {
+		b.WriteHostFlag(d.pending, upForThread(gtid), 1)
+	})
+}

@@ -1,0 +1,541 @@
+package coll
+
+import (
+	"fmt"
+
+	"mpipart/internal/core"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+// collTagBase keeps partitioned-collective channels away from application
+// and baseline-collective tags.
+const collTagBase = 1 << 21
+
+// Request is a persistent partitioned collective (MPIX_P<collective>_init):
+// a schedule plus one partitioned point-to-point channel per directed
+// neighbour edge, progressed by Algorithm 2.
+type Request struct {
+	R     *mpi.Rank
+	Sched *Schedule
+	Op    mpi.ReduceOp
+
+	buf     []float64
+	up      int // user partitions
+	upViews [][]float64
+	// recvBuf is where non-reducing arrivals land; it equals buf for
+	// in-place collectives and is distinct for all-to-all.
+	recvBuf     []float64
+	recvUpViews [][]float64
+
+	sends map[int]*core.SendRequest
+	recvs map[int]*core.RecvRequest
+	// staging buffers for reducing arrivals: per neighbour, per transport
+	// partition (user partition × use).
+	staging map[int][][]float64
+
+	// userPending are the device-initiated "user partition ready" flags in
+	// pinned host memory (shared with the worker condition so device
+	// stores wake the progression engine); userReady records host-side
+	// Pready calls.
+	userPending *gpu.Flags
+	userReady   []bool
+
+	// stream is the library-internal stream reduction kernels run on; the
+	// cudaStreamSynchronize after each reduction is the cost that keeps
+	// the partitioned allreduce behind NCCL (Section VI-B).
+	stream *gpu.Stream
+
+	states  []upState
+	doneUPs int
+
+	started  bool
+	prepared bool
+	epoch    int
+	active   bool
+	freed    bool
+	// inProgress guards against virtual-time re-entrancy: both the
+	// progression engine and a host proc blocked in Wait drive Progress,
+	// and reduceData yields (stream synchronize) mid-pass; the second
+	// driver must not double-apply reductions or sends.
+	inProgress bool
+	// selfCopy copies the rank's own chunk from the send to the receive
+	// buffer when a user partition completes (all-to-all keeps the local
+	// chunk out of the network).
+	selfCopy bool
+
+	// devHandle is the device-side collective handle, if created.
+	devHandle *DeviceColl
+}
+
+// upState is the per-user-partition cursor through the schedule
+// (Algorithm 2 keeps parrived/pready counters per state).
+type upState struct {
+	step     int
+	inDone   []bool
+	parrived int
+	pready   int
+}
+
+// PallreduceInit is MPIX_Pallreduce_init: a ring reduce-scatter/allgather
+// allreduce over the in-place buffer with the given number of user
+// partitions.
+func PallreduceInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int, op mpi.ReduceOp) *Request {
+	return InitWithSchedule(p, r, buf, userParts, op, RingAllreduceSchedule(r.ID, r.W.Size()))
+}
+
+// PbcastInit is MPIX_Pbcast_init: a binomial-tree broadcast from root.
+func PbcastInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts, root int) *Request {
+	return InitWithSchedule(p, r, buf, userParts, mpi.OpSum, BinomialBcastSchedule(r.ID, r.W.Size(), root))
+}
+
+// PreduceInit is MPIX_Preduce_init: a binomial-tree reduction to root with
+// MPI_IN_PLACE semantics (non-root buffers hold partial accumulations
+// afterwards).
+func PreduceInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int, op mpi.ReduceOp, root int) *Request {
+	return InitWithSchedule(p, r, buf, userParts, op, BinomialReduceSchedule(r.ID, r.W.Size(), root))
+}
+
+// PallgatherInit is MPIX_Pallgather_init: an in-place ring allgather; each
+// user partition holds P chunks of which this rank contributes chunk
+// rank.
+func PallgatherInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int) *Request {
+	return InitWithSchedule(p, r, buf, userParts, mpi.OpSum, RingAllgatherSchedule(r.ID, r.W.Size()))
+}
+
+// PreduceScatterInit is MPIX_Preduce_scatter_init (equal block sizes): a
+// ring reduce-scatter after which this rank owns the fully reduced chunk
+// OwnedChunk(rank, P) of each user partition.
+func PreduceScatterInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int, op mpi.ReduceOp) *Request {
+	return InitWithSchedule(p, r, buf, userParts, op, RingReduceScatterSchedule(r.ID, r.W.Size()))
+}
+
+// PscanInit is MPIX_Pscan_init: an inclusive prefix scan along the rank
+// order (rank r ends with op over ranks 0..r), accumulated in place.
+func PscanInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int, op mpi.ReduceOp) *Request {
+	return InitWithSchedule(p, r, buf, userParts, op, LinearScanSchedule(r.ID, r.W.Size()))
+}
+
+// PalltoallInit is MPIX_Palltoall_init: a pairwise exchange where chunk d
+// of sendBuf goes to rank d and recvBuf chunk s receives rank s's
+// contribution. The buffers must be distinct (the exchange cannot run in
+// place); the rank's own chunk is copied locally when the schedule
+// completes.
+func PalltoallInit(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float64, userParts int) *Request {
+	c := InitWithScheduleBuffers(p, r, sendBuf, recvBuf, userParts, mpi.OpSum,
+		PairwiseAlltoallSchedule(r.ID, r.W.Size()))
+	c.selfCopy = true
+	return c
+}
+
+// InitWithSchedule builds an in-place collective request from any valid
+// schedule — the generalization the paper argues for, since at least 21
+// collectives would otherwise each need a bespoke implementation.
+func InitWithSchedule(p *sim.Proc, r *mpi.Rank, buf []float64, userParts int, op mpi.ReduceOp, sched *Schedule) *Request {
+	return InitWithScheduleBuffers(p, r, buf, buf, userParts, op, sched)
+}
+
+// InitWithScheduleBuffers is InitWithSchedule with a distinct receive
+// buffer: sends and reductions use sendBuf, non-reducing arrivals land in
+// recvBuf. All-to-all requires the split; in-place collectives pass the
+// same slice twice.
+func InitWithScheduleBuffers(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float64, userParts int, op mpi.ReduceOp, sched *Schedule) *Request {
+	if err := sched.Validate(); err != nil {
+		panic(err)
+	}
+	if userParts <= 0 {
+		panic("coll: user partition count must be positive")
+	}
+	if len(recvBuf) != len(sendBuf) {
+		panic("coll: send and receive buffers must have equal length")
+	}
+	c := &Request{
+		R:         r,
+		Sched:     sched,
+		Op:        op,
+		buf:       sendBuf,
+		recvBuf:   recvBuf,
+		up:        userParts,
+		sends:     map[int]*core.SendRequest{},
+		recvs:     map[int]*core.RecvRequest{},
+		staging:   map[int][][]float64{},
+		userReady: make([]bool, userParts),
+		states:    make([]upState, userParts),
+	}
+	c.upViews = core.EqualPartitions(sendBuf, userParts)
+	c.recvUpViews = core.EqualPartitions(recvBuf, userParts)
+	c.userPending = gpu.NewFlagsShared(fmt.Sprintf("collready@%d", r.ID), userParts, r.Worker.Cond())
+
+	// During initialization we know message size, communicator size, and
+	// partition count, so every resource for the algorithm is allocated
+	// here: the request, the schedule, the staging, the channels.
+	p.Wait(r.W.Model.CollInitBase)
+	p.Wait(sim.Duration(len(sched.Steps)) * r.W.Model.SchedBuildPerStep)
+
+	tag := collTagBase + nextCollSeq(r)
+
+	// Per-channel chunk maps from the schedule.
+	sendChunk := map[int][]int{}
+	recvChunk := map[int][]int{}
+	recvReduce := map[int][]bool{}
+	for nbr, uses := range sched.SendUses {
+		sendChunk[nbr] = make([]int, uses)
+	}
+	for nbr, uses := range sched.RecvUses {
+		recvChunk[nbr] = make([]int, uses)
+		recvReduce[nbr] = make([]bool, uses)
+	}
+	for _, st := range sched.Steps {
+		for _, eu := range st.Out {
+			sendChunk[eu.Nbr][eu.Use] = eu.Chunk
+		}
+		for _, eu := range st.In {
+			recvChunk[eu.Nbr][eu.Use] = eu.Chunk
+			recvReduce[eu.Nbr][eu.Use] = st.Reduce
+		}
+	}
+
+	// Build the point-to-point channels. Send transport partition
+	// (up, use) is a view of the user chunk the schedule says that use
+	// carries (data is read at Pready time, i.e. after reductions).
+	for nbr, uses := range sched.SendUses {
+		parts := make([][]float64, 0, userParts*uses)
+		for u := 0; u < userParts; u++ {
+			for use := 0; use < uses; use++ {
+				parts = append(parts, c.chunkView(u, sendChunk[nbr][use]))
+			}
+		}
+		c.sends[nbr] = core.PsendInitParts(p, r, nbr, tag, parts)
+	}
+	// Receive transport partitions land in staging when the step reduces
+	// (reduce-scatter phase) and directly in the user chunk otherwise
+	// (allgather phase / broadcasts).
+	for nbr, uses := range sched.RecvUses {
+		parts := make([][]float64, 0, userParts*uses)
+		stag := make([][]float64, userParts*uses)
+		for u := 0; u < userParts; u++ {
+			for use := 0; use < uses; use++ {
+				view := c.chunkViewIn(u, recvChunk[nbr][use])
+				if recvReduce[nbr][use] {
+					stag[u*uses+use] = make([]float64, len(view))
+					view = stag[u*uses+use]
+				}
+				parts = append(parts, view)
+			}
+		}
+		c.staging[nbr] = stag
+		c.recvs[nbr] = core.PrecvInitParts(p, r, nbr, tag, parts)
+	}
+
+	c.stream = r.Dev.NewStream("coll-reduce")
+	c.resetStates()
+	return c
+}
+
+// nextCollSeq tracks the per-rank collective posting order so SPMD ranks
+// derive matching channel tags without extra communication.
+func nextCollSeq(r *mpi.Rank) int {
+	seq := 0
+	if v, ok := r.CollSeq.(int); ok {
+		seq = v
+	}
+	r.CollSeq = seq + 1
+	return seq
+}
+
+// chunkView returns the send-buffer view of chunk ch of user partition u,
+// using the same nearly-equal splitting at both levels on every rank.
+func (c *Request) chunkView(u, ch int) []float64 {
+	return core.EqualPartitions(c.upViews[u], c.Sched.Chunks)[ch]
+}
+
+// chunkViewIn is chunkView over the receive buffer (identical for in-place
+// collectives).
+func (c *Request) chunkViewIn(u, ch int) []float64 {
+	return core.EqualPartitions(c.recvUpViews[u], c.Sched.Chunks)[ch]
+}
+
+// UserPartitions returns the user partition count.
+func (c *Request) UserPartitions() int { return c.up }
+
+// Buffer returns the collective's in-place buffer.
+func (c *Request) Buffer() []float64 { return c.buf }
+
+func (c *Request) resetStates() {
+	for i := range c.states {
+		c.states[i] = upState{}
+		c.armStep(&c.states[i])
+	}
+	c.doneUPs = 0
+}
+
+func (c *Request) armStep(st *upState) {
+	if st.step < len(c.Sched.Steps) {
+		n := len(c.Sched.Steps[st.step].In)
+		if cap(st.inDone) >= n {
+			st.inDone = st.inDone[:n]
+			for i := range st.inDone {
+				st.inDone[i] = false
+			}
+		} else {
+			st.inDone = make([]bool, n)
+		}
+	}
+}
+
+// Start begins a collective epoch: underlying channels start and all
+// per-partition schedule state resets.
+func (c *Request) Start(p *sim.Proc) {
+	c.checkUsable()
+	if c.started {
+		panic("coll: Start on started collective")
+	}
+	c.epoch++
+	c.started = true
+	for i := range c.userReady {
+		c.userReady[i] = false
+	}
+	c.userPending.Reset()
+	if c.devHandle != nil {
+		c.devHandle.resetEpoch()
+	}
+	c.resetStates()
+	for _, s := range c.sends {
+		s.Start(p)
+	}
+	for _, rr := range c.recvs {
+		rr.Start(p)
+	}
+	if !c.active {
+		c.active = true
+		c.R.Engine.Register(c)
+	}
+}
+
+// PbufPrepare synchronizes the processes associated with the collective
+// (its generalization for collectives, Section II-B3): every underlying
+// receive channel prepares (registering memory and answering its sender)
+// before the send channels wait for their peers' responses, which makes
+// the call deadlock-free when all ranks execute it concurrently.
+func (c *Request) PbufPrepare(p *sim.Proc) {
+	c.checkUsable()
+	if !c.started {
+		panic("coll: PbufPrepare before Start")
+	}
+	for _, rr := range c.recvs {
+		rr.PbufPrepare(p)
+	}
+	for _, s := range c.sends {
+		s.PbufPrepare(p)
+	}
+	c.prepared = true
+}
+
+// Pready is the host binding: mark user partition up ready. The schedule's
+// step-0 sends for that partition fire from the progression engine.
+func (c *Request) Pready(p *sim.Proc, up int) {
+	c.checkUsable()
+	if !c.started {
+		panic("coll: Pready before Start")
+	}
+	if up < 0 || up >= c.up {
+		panic(fmt.Sprintf("coll: Pready user partition %d of %d", up, c.up))
+	}
+	p.Wait(c.R.W.Model.HostPostOverhead)
+	c.userReady[up] = true
+	// Wake the engine so the step-0 transfer is issued promptly.
+	c.R.Worker.Cond().Broadcast()
+}
+
+// Parrived reports whether user partition up has completed the whole
+// collective (the paper's collective Parrived reads a completion flag).
+func (c *Request) Parrived(up int) bool {
+	c.checkUsable()
+	return c.states[up].step >= len(c.Sched.Steps)
+}
+
+// Done reports whether every user partition completed the schedule.
+func (c *Request) Done() bool { return c.doneUPs == c.up }
+
+func (c *Request) userReadyNow(up int) bool {
+	return c.userReady[up] || c.userPending.Get(up) != 0
+}
+
+// Progress implements mpi.Progressor (Algorithm 2): each user partition
+// independently advances through the schedule — collecting arrivals,
+// reducing staged data, firing the step's sends, and moving to the next
+// step when both counters match the step's neighbour counts.
+func (c *Request) Progress(p *sim.Proc) (didWork, stillActive bool) {
+	if !c.started || c.inProgress {
+		return false, c.active
+	}
+	c.inProgress = true
+	defer func() { c.inProgress = false }()
+	did := false
+	for up := range c.states {
+		st := &c.states[up]
+		for st.step < len(c.Sched.Steps) {
+			S := &c.Sched.Steps[st.step]
+			// Local-data gate: reductions and sends of this rank's own
+			// contribution wait for the user's Pready. Forwarding sends
+			// (a broadcast's interior ranks, the allgather's later steps)
+			// carry data whose readiness the schedule already ordered and
+			// pass through.
+			if !c.userReadyNow(up) && (S.Reduce || (S.LocalData && len(S.Out) > 0)) {
+				break
+			}
+			// Arrivals (lines 5–13): check each incoming neighbour,
+			// reduce its staged chunk exactly once.
+			if st.parrived != len(S.In) {
+				for j, eu := range S.In {
+					if st.inDone[j] {
+						continue
+					}
+					uses := c.Sched.RecvUses[eu.Nbr]
+					tp := up*uses + eu.Use
+					if c.recvs[eu.Nbr].Parrived(tp) {
+						if S.Reduce {
+							c.reduceData(p, up, eu)
+						}
+						st.inDone[j] = true
+						st.parrived++
+						did = true
+					}
+				}
+			}
+			// Sends (lines 21–28 generalized): fire each outgoing
+			// neighbour's Pready once on entering the step.
+			if st.pready < len(S.Out) {
+				for _, eu := range S.Out {
+					uses := c.Sched.SendUses[eu.Nbr]
+					c.sends[eu.Nbr].Pready(p, up*uses+eu.Use)
+					st.pready++
+					did = true
+				}
+			}
+			// Step transition (lines 14–20).
+			if st.parrived == len(S.In) && st.pready == len(S.Out) {
+				st.step++
+				st.parrived, st.pready = 0, 0
+				c.armStep(st)
+				did = true
+				if st.step == len(c.Sched.Steps) {
+					if c.selfCopy {
+						copy(c.chunkViewIn(up, c.Sched.Rank), c.chunkView(up, c.Sched.Rank))
+					}
+					c.doneUPs++
+				}
+				continue
+			}
+			break
+		}
+	}
+	if did {
+		// Wake anyone parked on the worker condition (a host proc inside
+		// Wait, the progression engine): schedule state advanced, so their
+		// completion predicates may now hold. Without this, a proc that
+		// parked while another proc was blocked inside reduceData would
+		// never re-check.
+		c.R.Worker.Cond().Broadcast()
+	}
+	return did, c.active
+}
+
+// reduceData applies the collective's operation to an arrived chunk: the
+// staged data is combined into the user chunk by a kernel on the internal
+// stream, and the stream is synchronized before the schedule moves on —
+// the numerically required but expensive step the paper identifies as the
+// gap to NCCL.
+func (c *Request) reduceData(p *sim.Proc, up int, eu EdgeUse) {
+	uses := c.Sched.RecvUses[eu.Nbr]
+	src := c.staging[eu.Nbr][up*uses+eu.Use]
+	dst := c.chunkView(up, eu.Chunk)
+	op := c.Op
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	block := 1024
+	if n < block {
+		block = n
+	}
+	grid := (n + block - 1) / block
+	c.stream.Launch(gpu.KernelSpec{
+		Name: "preduce", Grid: grid, Block: block,
+		WaveTime: c.R.W.Model.ScaledWaveTime(1),
+		Body: func(b *gpu.BlockCtx) {
+			b.ForEachThread(func(i int) {
+				if i < n {
+					op.Apply(dst[i:i+1], src[i:i+1])
+				}
+			})
+		},
+	})
+	c.stream.Synchronize(p)
+}
+
+// Wait completes the collective epoch (MPI_Wait): Algorithm 2 runs until
+// every user partition finishes the schedule, then the underlying channels
+// flush.
+func (c *Request) Wait(p *sim.Proc) {
+	c.checkUsable()
+	if !c.started {
+		panic("coll: Wait before Start")
+	}
+	for !c.Done() {
+		did, _ := c.Progress(p)
+		if c.R.Worker.Progress(p) > 0 {
+			did = true
+		}
+		if c.Done() {
+			break
+		}
+		if !did {
+			c.R.Worker.Cond().Wait(p)
+			p.Wait(c.R.W.Model.ProgressPollInterval)
+		}
+	}
+	for _, s := range c.sends {
+		s.Wait(p)
+	}
+	for _, rr := range c.recvs {
+		rr.Wait(p)
+	}
+	c.started = false
+	c.active = false
+}
+
+// Free releases the collective and its channels.
+func (c *Request) Free() {
+	if c.started {
+		panic("coll: Free of active collective")
+	}
+	for _, s := range c.sends {
+		s.Free()
+	}
+	for _, rr := range c.recvs {
+		rr.Free()
+	}
+	c.freed = true
+	c.active = false
+}
+
+func (c *Request) checkUsable() {
+	if c.freed {
+		panic("coll: use of freed collective request")
+	}
+}
+
+// PgatherInit is MPIX_Pgather_init (equal chunk sizes, in place): chunk r
+// of the buffer is rank r's contribution; the root ends up with all of
+// them.
+func PgatherInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts, root int) *Request {
+	return InitWithSchedule(p, r, buf, userParts, mpi.OpSum, LinearGatherSchedule(r.ID, r.W.Size(), root))
+}
+
+// PscatterInit is MPIX_Pscatter_init (equal chunk sizes, in place): the
+// root's chunk d lands in chunk d of rank d's buffer.
+func PscatterInit(p *sim.Proc, r *mpi.Rank, buf []float64, userParts, root int) *Request {
+	return InitWithSchedule(p, r, buf, userParts, mpi.OpSum, LinearScatterSchedule(r.ID, r.W.Size(), root))
+}

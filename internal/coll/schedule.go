@@ -1,0 +1,198 @@
+// Package coll implements MPI Partitioned Collectives (Section IV-B): a
+// generic, algorithm-independent communication schedule executed by the
+// progression engine, built on the partitioned point-to-point library of
+// package core.
+//
+// A schedule is a series of steps S = {S_0, …, S_k}; each step is the tuple
+// (I, R, ⊕, O, A) of the paper — incoming neighbours, the Pready offset,
+// the reduction operation (or NOP), outgoing neighbours, and the Parrived
+// offset. A single schedule is created per collective, but every *user
+// partition* executes it independently, holding its own state, which is
+// what pipelines the ring algorithm across partitions (Algorithm 1) and
+// what Algorithm 2 progresses inside MPI_Wait and the progression engine.
+//
+// Terminology (Section IV-B): a *user partition* is what the application
+// sees; a *transport partition* is what the point-to-point layer carries.
+// Every (user partition, channel use) pair is one transport partition.
+package coll
+
+import (
+	"fmt"
+)
+
+// EdgeUse identifies one use of a directed channel within a step: the
+// neighbour rank, the per-channel use index (the transport partition slot),
+// and which chunk of the user partition it carries.
+type EdgeUse struct {
+	// Nbr is the peer rank.
+	Nbr int
+	// Use is the channel's use index; transport partition = up*uses + Use.
+	Use int
+	// Chunk is the chunk of the user partition carried (the R/A offset of
+	// the paper, precomputed per step by the schedule builder).
+	Chunk int
+}
+
+// Step is one schedule step S_i = (I, R, ⊕, O, A). In and Out carry the
+// R/A offsets inside their EdgeUses; Reduce is ⊕ (true = apply the
+// collective's MPI_Op to arriving data, false = NOP). LocalData marks
+// steps whose sends read this rank's own contribution: such sends (and all
+// reductions) wait for the user's Pready, while forwarding sends (e.g. a
+// broadcast's interior ranks) do not.
+type Step struct {
+	In        []EdgeUse
+	Out       []EdgeUse
+	Reduce    bool
+	LocalData bool
+}
+
+// Schedule is the complete per-rank plan for one collective.
+type Schedule struct {
+	// Rank and P identify the executing rank and communicator size.
+	Rank, P int
+	// Chunks is how many chunks each user partition is divided into
+	// (P for the ring algorithm, 1 for tree broadcasts).
+	Chunks int
+	// Steps is the ordered step list.
+	Steps []Step
+	// SendUses / RecvUses give, per neighbour rank, how many uses (and
+	// therefore transport partitions per user partition) each directed
+	// channel has.
+	SendUses map[int]int
+	RecvUses map[int]int
+}
+
+// NumSteps returns k+1, the number of steps.
+func (s *Schedule) NumSteps() int { return len(s.Steps) }
+
+// Validate checks the structural invariants every schedule must satisfy;
+// the property tests drive random configurations through it.
+func (s *Schedule) Validate() error {
+	if s.Chunks <= 0 {
+		return fmt.Errorf("coll: schedule chunks = %d", s.Chunks)
+	}
+	sendSeen := map[int]map[int]bool{}
+	recvSeen := map[int]map[int]bool{}
+	for i, st := range s.Steps {
+		for _, eu := range st.Out {
+			if eu.Nbr < 0 || eu.Nbr >= s.P || eu.Nbr == s.Rank {
+				return fmt.Errorf("coll: step %d out neighbour %d invalid", i, eu.Nbr)
+			}
+			if eu.Chunk < 0 || eu.Chunk >= s.Chunks {
+				return fmt.Errorf("coll: step %d out chunk %d invalid", i, eu.Chunk)
+			}
+			uses := s.SendUses[eu.Nbr]
+			if eu.Use < 0 || eu.Use >= uses {
+				return fmt.Errorf("coll: step %d out use %d of %d", i, eu.Use, uses)
+			}
+			if sendSeen[eu.Nbr] == nil {
+				sendSeen[eu.Nbr] = map[int]bool{}
+			}
+			if sendSeen[eu.Nbr][eu.Use] {
+				return fmt.Errorf("coll: step %d reuses send slot %d to %d", i, eu.Use, eu.Nbr)
+			}
+			sendSeen[eu.Nbr][eu.Use] = true
+		}
+		for _, eu := range st.In {
+			if eu.Nbr < 0 || eu.Nbr >= s.P || eu.Nbr == s.Rank {
+				return fmt.Errorf("coll: step %d in neighbour %d invalid", i, eu.Nbr)
+			}
+			if eu.Chunk < 0 || eu.Chunk >= s.Chunks {
+				return fmt.Errorf("coll: step %d in chunk %d invalid", i, eu.Chunk)
+			}
+			uses := s.RecvUses[eu.Nbr]
+			if eu.Use < 0 || eu.Use >= uses {
+				return fmt.Errorf("coll: step %d in use %d of %d", i, eu.Use, uses)
+			}
+			if recvSeen[eu.Nbr] == nil {
+				recvSeen[eu.Nbr] = map[int]bool{}
+			}
+			if recvSeen[eu.Nbr][eu.Use] {
+				return fmt.Errorf("coll: step %d reuses recv slot %d from %d", i, eu.Use, eu.Nbr)
+			}
+			recvSeen[eu.Nbr][eu.Use] = true
+		}
+	}
+	// Every declared use must be consumed exactly once.
+	for nbr, uses := range s.SendUses {
+		if len(sendSeen[nbr]) != uses {
+			return fmt.Errorf("coll: channel to %d uses %d of %d send slots", nbr, len(sendSeen[nbr]), uses)
+		}
+	}
+	for nbr, uses := range s.RecvUses {
+		if len(recvSeen[nbr]) != uses {
+			return fmt.Errorf("coll: channel from %d uses %d of %d recv slots", nbr, len(recvSeen[nbr]), uses)
+		}
+	}
+	return nil
+}
+
+// RingAllreduceSchedule builds the paper's Algorithm 1: the schedule of a
+// Ring-based reduce-scatter/allgather allreduce for the given rank. There
+// are 2(P-1) steps; for step i,
+//
+//	I = (rank-1) mod P,   O = (rank+1) mod P,
+//	R = (rank + 2P - i) mod P,   A = (rank + 2P - i - 1) mod P,
+//	⊕ = MPI_Op for i < P-1 (reduce-scatter), NOP after (allgather).
+func RingAllreduceSchedule(rank, P int) *Schedule {
+	if P < 2 {
+		panic("coll: ring allreduce needs P >= 2")
+	}
+	steps := 2 * (P - 1)
+	prev := (rank - 1 + P) % P
+	next := (rank + 1) % P
+	s := &Schedule{
+		Rank:     rank,
+		P:        P,
+		Chunks:   P,
+		SendUses: map[int]int{next: steps},
+		RecvUses: map[int]int{prev: steps},
+	}
+	for i := 0; i < steps; i++ {
+		r := (rank + 2*P - i) % P
+		a := (rank + 2*P - i - 1) % P
+		s.Steps = append(s.Steps, Step{
+			In:        []EdgeUse{{Nbr: prev, Use: i, Chunk: a}},
+			Out:       []EdgeUse{{Nbr: next, Use: i, Chunk: r}},
+			Reduce:    i < P-1,
+			LocalData: i == 0,
+		})
+	}
+	return s
+}
+
+// BinomialBcastSchedule builds a binomial-tree broadcast schedule rooted at
+// root: at step s, every rank whose (rotated) id is below 2^s forwards the
+// user partition to id + 2^s. All steps are NOPs (⊕ is never applied),
+// matching the paper's observation that Bcast-like collectives have no
+// computation component.
+func BinomialBcastSchedule(rank, P, root int) *Schedule {
+	if P < 2 {
+		panic("coll: bcast needs P >= 2")
+	}
+	vrank := (rank - root + P) % P // rotate so the root is virtual rank 0
+	s := &Schedule{
+		Rank:     rank,
+		P:        P,
+		Chunks:   1,
+		SendUses: map[int]int{},
+		RecvUses: map[int]int{},
+	}
+	for bit := 1; bit < P; bit <<= 1 {
+		var st Step
+		if vrank < bit { // already has the data: maybe send
+			if vrank+bit < P {
+				peer := (vrank + bit + root) % P
+				st.Out = []EdgeUse{{Nbr: peer, Use: 0, Chunk: 0}}
+				st.LocalData = vrank == 0 // only the root's data is local
+				s.SendUses[peer] = 1
+			}
+		} else if vrank < 2*bit { // receives at this step
+			peer := (vrank - bit + root) % P
+			st.In = []EdgeUse{{Nbr: peer, Use: 0, Chunk: 0}}
+			s.RecvUses[peer] = 1
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s
+}

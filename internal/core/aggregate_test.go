@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+func TestEstimateEpochTimePositiveAndMonotoneInBytes(t *testing.T) {
+	m := cluster.DefaultModel()
+	small := EstimateEpochTime(&m, 64, 1024, 1<<16, m.NVLinkLatency, m.NVLinkBytesPerSec, 1)
+	big := EstimateEpochTime(&m, 64, 1024, 1<<24, m.NVLinkLatency, m.NVLinkBytesPerSec, 1)
+	if small <= 0 || big <= small {
+		t.Fatalf("estimates: small=%v big=%v", small, big)
+	}
+}
+
+func TestEstimateClampsPartitionCount(t *testing.T) {
+	m := cluster.DefaultModel()
+	a := EstimateEpochTime(&m, 4, 1024, 1<<20, m.NVLinkLatency, m.NVLinkBytesPerSec, 100)
+	b := EstimateEpochTime(&m, 4, 1024, 1<<20, m.NVLinkLatency, m.NVLinkBytesPerSec, 4)
+	if a != b {
+		t.Fatalf("clamp failed: %v vs %v", a, b)
+	}
+	if EstimateEpochTime(&m, 4, 1024, 1<<20, m.NVLinkLatency, m.NVLinkBytesPerSec, 0) !=
+		EstimateEpochTime(&m, 4, 1024, 1<<20, m.NVLinkLatency, m.NVLinkBytesPerSec, 1) {
+		t.Fatal("parts=0 should behave as 1")
+	}
+}
+
+func TestChooseTransportPartitionsSmallMessagesPreferOne(t *testing.T) {
+	m := cluster.DefaultModel()
+	// One-wave kernel, tiny message: no overlap to win, per-partition
+	// overhead dominates.
+	best, choices := ChooseTransportPartitions(&m, 8, 1024, 8*8192, m.NVLinkLatency, m.NVLinkBytesPerSec)
+	if best != 1 {
+		t.Fatalf("best = %d for a tiny message, want 1 (choices %+v)", best, choices)
+	}
+}
+
+func TestChooseTransportPartitionsLargeKernelsPreferMore(t *testing.T) {
+	m := cluster.DefaultModel()
+	// Many-wave kernel over InfiniBand: pipelining partitions overlaps
+	// transfer with compute.
+	grid := 8192
+	bytes := int64(grid) * 8192
+	best, _ := ChooseTransportPartitions(&m, grid, 1024, bytes, m.IBLatency, m.IBBytesPerSec)
+	if best < 2 {
+		t.Fatalf("best = %d for a large inter-node kernel, want >= 2", best)
+	}
+}
+
+func TestChoicesArePowersOfTwoAndBounded(t *testing.T) {
+	m := cluster.DefaultModel()
+	_, choices := ChooseTransportPartitions(&m, 4096, 1024, 1<<25, m.IBLatency, m.IBBytesPerSec)
+	prev := 0
+	for _, c := range choices {
+		if c.Parts <= prev || c.Parts > 64 {
+			t.Fatalf("bad candidate sequence: %+v", choices)
+		}
+		if c.Estimate <= 0 {
+			t.Fatalf("non-positive estimate: %+v", c)
+		}
+		prev = c.Parts
+	}
+}
+
+func TestAutoPrequestOptsCoversGrid(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, grid := range []int{1, 7, 64, 1024} {
+		for _, intra := range []bool{true, false} {
+			opts, parts := AutoPrequestOpts(&m, grid, 1024, int64(grid)*8192, intra)
+			if opts.Mech != ProgressionEngine {
+				t.Fatal("auto opts must use the progression engine")
+			}
+			if parts < 1 || parts > grid && grid >= 1 && parts != 1 {
+				t.Fatalf("grid %d: parts = %d", grid, parts)
+			}
+			if opts.BlocksPerTransport < 1 {
+				t.Fatalf("grid %d: blocksPerTransport = %d", grid, opts.BlocksPerTransport)
+			}
+		}
+	}
+}
+
+// Property: the modeled estimate is monotone in per-partition overhead
+// position — i.e. for a fixed config the returned best choice is never
+// worse than parts=1 under the model.
+func TestChooseNeverWorseThanOneProperty(t *testing.T) {
+	m := cluster.DefaultModel()
+	f := func(g uint8, sizeKB uint16) bool {
+		grid := int(g)%64 + 1
+		bytes := (int64(sizeKB) + 1) * 1024
+		best, choices := ChooseTransportPartitions(&m, grid, 1024, bytes, m.IBLatency, m.IBBytesPerSec)
+		var bestEst, oneEst sim.Duration
+		for _, c := range choices {
+			if c.Parts == best {
+				bestEst = c.Estimate
+			}
+			if c.Parts == 1 {
+				oneEst = c.Estimate
+			}
+		}
+		return bestEst <= oneEst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoAggregationEndToEnd runs a real epoch with the auto-chosen
+// aggregation and verifies delivery.
+func TestAutoAggregationEndToEnd(t *testing.T) {
+	runAuto := func(grid int) {
+		w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+		n := grid * 1024
+		src := make([]float64, n)
+		dst := make([]float64, n)
+		for i := range src {
+			src[i] = float64(i % 97)
+		}
+		w.Spawn(func(r *mpi.Rank) {
+			p := r.Proc()
+			switch r.ID {
+			case 0:
+				opts, parts := AutoPrequestOpts(r.Model(), grid, 1024, int64(n*8), true)
+				sreq := PsendInit(p, r, 1, 3, src, parts)
+				sreq.Start(p)
+				sreq.PbufPrepare(p)
+				preq, err := PrequestCreate(p, sreq, opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r.Stream.Launch(gpu.KernelSpec{
+					Name: "agg", Grid: grid, Block: 1024,
+					Body: func(b *gpu.BlockCtx) {
+						part := b.Idx / opts.BlocksPerTransport
+						if part >= parts {
+							part = parts - 1
+						}
+						preq.PreadyBlockAggregated(b, part)
+					},
+				})
+				sreq.Wait(p)
+			case 1:
+				_, parts := AutoPrequestOpts(r.Model(), grid, 1024, int64(n*8), true)
+				rreq := PrecvInit(p, r, 0, 3, dst, parts)
+				rreq.Start(p)
+				rreq.PbufPrepare(p)
+				rreq.Wait(p)
+			}
+		})
+		if err := w.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if dst[i] != float64(i%97) {
+				t.Fatalf("grid %d: dst[%d] = %v", grid, i, dst[i])
+			}
+		}
+	}
+	runAuto(4)
+	runAuto(64)
+}

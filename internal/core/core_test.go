@@ -1,0 +1,982 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+// runPair spawns an SPMD world and runs sender/receiver bodies on the given
+// ranks, failing the test on simulation errors.
+func runPair(t *testing.T, topo cluster.Topology, senderID, recvID int,
+	sender func(r *mpi.Rank, p *sim.Proc), receiver func(r *mpi.Rank, p *sim.Proc)) *mpi.World {
+	t.Helper()
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case senderID:
+			sender(r, p)
+		case recvID:
+			receiver(r, p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestEqualPartitions(t *testing.T) {
+	buf := make([]float64, 10)
+	parts := EqualPartitions(buf, 3)
+	if len(parts) != 3 || len(parts[0]) != 4 || len(parts[1]) != 3 || len(parts[2]) != 3 {
+		t.Fatalf("parts = %d/%d/%d", len(parts[0]), len(parts[1]), len(parts[2]))
+	}
+	// Views must alias the buffer.
+	parts[1][0] = 7
+	if buf[4] != 7 {
+		t.Fatal("partition view does not alias buffer")
+	}
+}
+
+func TestEqualPartitionsZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EqualPartitions(make([]float64, 4), 0)
+}
+
+// TestHostPreadyFullFlow exercises the complete Figure 1 control flow with
+// host-side Pready calls: init, start, prepare, per-partition transfer,
+// arrival flags, wait.
+func TestHostPreadyFullFlow(t *testing.T) {
+	const n, nparts = 64, 4
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i + 1)
+	}
+	runPair(t, cluster.OneNodeGH200(), 0, 1,
+		func(r *mpi.Rank, p *sim.Proc) {
+			sreq := PsendInit(p, r, 1, 5, src, nparts)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			for i := 0; i < nparts; i++ {
+				sreq.Pready(p, i)
+			}
+			sreq.Wait(p)
+		},
+		func(r *mpi.Rank, p *sim.Proc) {
+			rreq := PrecvInit(p, r, 0, 5, dst, nparts)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			if rreq.ArrivedCount() != nparts {
+				t.Errorf("arrived = %d", rreq.ArrivedCount())
+			}
+		})
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], src[i])
+		}
+	}
+}
+
+// TestPersistentReuseThreeEpochs runs three epochs over the same persistent
+// channel, checking that each epoch's data lands and flags reset correctly.
+func TestPersistentReuseThreeEpochs(t *testing.T) {
+	const n, nparts, epochs = 16, 2, 3
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	var epochResults [][]float64
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 9, src, nparts)
+			for e := 0; e < epochs; e++ {
+				for i := range src {
+					src[i] = float64(e*100 + i)
+				}
+				sreq.Start(p)
+				sreq.PbufPrepare(p)
+				for i := 0; i < nparts; i++ {
+					sreq.Pready(p, i)
+				}
+				sreq.Wait(p)
+				r.Barrier(p)
+			}
+			sreq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 9, dst, nparts)
+			for e := 0; e < epochs; e++ {
+				rreq.Start(p)
+				rreq.PbufPrepare(p)
+				rreq.Wait(p)
+				epochResults = append(epochResults, append([]float64(nil), dst...))
+				r.Barrier(p)
+			}
+			rreq.Free()
+		default:
+			for e := 0; e < epochs; e++ {
+				r.Barrier(p)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochResults) != epochs {
+		t.Fatalf("epochs = %d", len(epochResults))
+	}
+	for e, res := range epochResults {
+		for i, v := range res {
+			if v != float64(e*100+i) {
+				t.Fatalf("epoch %d elem %d = %v", e, i, v)
+			}
+		}
+	}
+}
+
+// TestSubsequentPbufPrepareCheap verifies Table I's two-regime behaviour:
+// the first PbufPrepare pays MCA init + registration + rkey exchange, later
+// ones only the RTR round.
+func TestSubsequentPbufPrepareCheap(t *testing.T) {
+	var first, second sim.Duration
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	src := make([]float64, 8)
+	dst := make([]float64, 8)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 1, src, 2)
+			for e := 0; e < 2; e++ {
+				sreq.Start(p)
+				t0 := p.Now()
+				sreq.PbufPrepare(p)
+				if e == 0 {
+					first = sim.Duration(p.Now() - t0)
+				} else {
+					second = sim.Duration(p.Now() - t0)
+				}
+				sreq.Pready(p, 0)
+				sreq.Pready(p, 1)
+				sreq.Wait(p)
+			}
+		case 1:
+			rreq := PrecvInit(p, r, 0, 1, dst, 2)
+			for e := 0; e < 2; e++ {
+				rreq.Start(p)
+				rreq.PbufPrepare(p)
+				rreq.Wait(p)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if first < 10*second {
+		t.Fatalf("first PbufPrepare (%v) should dwarf subsequent (%v)", first, second)
+	}
+	if second > sim.Microseconds(10) {
+		t.Fatalf("subsequent PbufPrepare too expensive: %v", second)
+	}
+}
+
+// TestDevicePreadyBlockPE runs the full GPU-initiated flow with the
+// progression-engine mechanism and block-level Pready: a kernel computes a
+// vector sum and marks each block's partition ready from inside the kernel.
+func TestDevicePreadyBlockPE(t *testing.T) {
+	const blockSize = 256
+	const grid = 4
+	const n = grid * blockSize
+	a := make([]float64, n)
+	b := make([]float64, n)
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range a {
+		a[i], b[i] = float64(i), float64(2*i)
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 3, src, grid) // one partition per block
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			done := r.Stream.Launch(gpu.KernelSpec{
+				Name: "vecadd+pready", Grid: grid, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) {
+					bc.ForEachThread(func(i int) { src[i] = a[i] + b[i] })
+					preq.PreadyBlock(bc, bc.Idx)
+				},
+			})
+			sreq.Wait(p)
+			done.Wait(p)
+			preq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 3, dst, grid)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(3*i) {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], float64(3*i))
+		}
+	}
+}
+
+// TestKernelCopyIntraNode runs the Kernel Copy mechanism: device code
+// stores the data directly into the peer's buffer; the host only signals
+// completion.
+func TestKernelCopyIntraNode(t *testing.T) {
+	const grid, blockSize = 2, 128
+	const n = grid * blockSize
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 4, src, grid)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: KernelCopy})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "kernel-copy", Grid: grid, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) {
+					preq.KernelCopyWholePartition(bc, bc.Idx)
+				},
+			})
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 4, dst, grid)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i)*1.5 {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestKernelCopyInterNodeFails: the Kernel Copy mechanism requires the
+// CUDA-IPC mapping, which does not exist across nodes.
+func TestKernelCopyInterNodeFails(t *testing.T) {
+	w := mpi.NewWorld(cluster.TwoNodeGH200(), cluster.DefaultModel(), 1)
+	src := make([]float64, 8)
+	dst := make([]float64, 8)
+	var gotErr error
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 4, 1, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			_, gotErr = PrequestCreate(p, sreq, PrequestOpts{Mech: KernelCopy})
+			// Finish the epoch so the receiver completes.
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+		case 4:
+			rreq := PrecvInit(p, r, 0, 1, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr == nil {
+		t.Fatal("inter-node KernelCopy PrequestCreate should fail")
+	}
+}
+
+// TestInterNodeProgressionEngine: the PE mechanism must work across nodes
+// over InfiniBand.
+func TestInterNodeProgressionEngine(t *testing.T) {
+	const grid, blockSize = 2, 64
+	const n = grid * blockSize
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i + 7)
+	}
+	w := mpi.NewWorld(cluster.TwoNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 4, 8, src, grid)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "k", Grid: grid, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) { preq.PreadyBlock(bc, bc.Idx) },
+			})
+			sreq.Wait(p)
+		case 4:
+			rreq := PrecvInit(p, r, 0, 8, dst, grid)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i+7) {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestBlockAggregation: multiple blocks aggregate into a single transport
+// partition through the device counters.
+func TestBlockAggregation(t *testing.T) {
+	const grid, blockSize = 8, 64
+	const n = grid * blockSize
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			// One transport partition fed by all 8 blocks.
+			sreq := PsendInit(p, r, 1, 2, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{
+				Mech: ProgressionEngine, BlocksPerTransport: grid,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "agg", Grid: grid, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) {
+					preq.PreadyBlockAggregated(bc, 0)
+				},
+			})
+			sreq.Wait(p)
+			// Exactly one notification must have been written.
+			if preq.Pending().CountNonZero() != 1 {
+				t.Errorf("pending flags = %d", preq.Pending().CountNonZero())
+			}
+		case 1:
+			rreq := PrecvInit(p, r, 0, 2, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i) {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestAggregationKernelCopy: kernel-copy deliveries aggregate on the
+// delivery-ordered counter; the completion signal must never pass the data.
+func TestAggregationKernelCopy(t *testing.T) {
+	const grid, blockSize = 4, 64
+	const n = grid * blockSize
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i) + 0.5
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 6, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{
+				Mech: KernelCopy, BlocksPerTransport: grid,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "kc-agg", Grid: grid, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) {
+					lo := bc.Idx * blockSize
+					preq.KernelCopyRange(bc, 0, lo, lo+blockSize)
+				},
+			})
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 6, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			// At arrival, ALL data must already be present.
+			for i := range dst {
+				if dst[i] != float64(i)+0.5 {
+					t.Errorf("completion signal passed data: dst[%d]=%v", i, dst[i])
+					break
+				}
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParrivedHostBinding: partial arrival is observable per partition.
+func TestParrivedHostBinding(t *testing.T) {
+	src := make([]float64, 8)
+	dst := make([]float64, 8)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 2, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 1) // only the second partition
+			// Let it land, then send the other after a gap.
+			p.Wait(sim.Microseconds(200))
+			sreq.Pready(p, 0)
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 2, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			// Wait for partition 1 to arrive.
+			for !rreq.Parrived(1) {
+				p.Wait(sim.Microseconds(5))
+			}
+			if rreq.Parrived(0) {
+				t.Error("partition 0 should not have arrived yet")
+			}
+			if rreq.ArrivedCount() != 1 {
+				t.Errorf("arrived = %d, want 1", rreq.ArrivedCount())
+			}
+			rreq.Wait(p)
+			if !rreq.Parrived(0) || !rreq.Parrived(1) {
+				t.Error("both partitions should have arrived after Wait")
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceParrivedMirror: arrivals propagate to the GPU-global mirror
+// during MPI_Wait.
+func TestDeviceParrivedMirror(t *testing.T) {
+	src := make([]float64, 8)
+	dst := make([]float64, 8)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	var mirror *gpu.Flags
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 2, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 2, dst, 2)
+			mirror = rreq.EnableDeviceParrived(p)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			p.Wait(sim.Microseconds(5)) // allow H2D flag pushes to land
+			if mirror.Get(0) != 1 || mirror.Get(1) != 1 {
+				t.Errorf("device mirror = %v/%v", mirror.Get(0), mirror.Get(1))
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTwoChannelsSameTag: posting order (seq) disambiguates identical
+// (src,dst,tag) tuples per the MPI matching rules.
+func TestTwoChannelsSameTag(t *testing.T) {
+	srcA, srcB := []float64{1, 2}, []float64{3, 4}
+	dstA, dstB := make([]float64, 2), make([]float64, 2)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			s1 := PsendInit(p, r, 1, 7, srcA, 1)
+			s2 := PsendInit(p, r, 1, 7, srcB, 1)
+			for _, s := range []*SendRequest{s1, s2} {
+				s.Start(p)
+			}
+			s1.PbufPrepare(p)
+			s2.PbufPrepare(p)
+			s1.Pready(p, 0)
+			s2.Pready(p, 0)
+			s1.Wait(p)
+			s2.Wait(p)
+		case 1:
+			r1 := PrecvInit(p, r, 0, 7, dstA, 1)
+			r2 := PrecvInit(p, r, 0, 7, dstB, 1)
+			r1.Start(p)
+			r2.Start(p)
+			r1.PbufPrepare(p)
+			r2.PbufPrepare(p)
+			r1.Wait(p)
+			r2.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dstA[0] != 1 || dstB[0] != 3 {
+		t.Fatalf("channel crosstalk: dstA=%v dstB=%v", dstA, dstB)
+	}
+}
+
+func TestAPIOrderingViolationsPanic(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		if r.ID != 0 {
+			return
+		}
+		sreq := PsendInit(p, r, 1, 1, make([]float64, 4), 2)
+		mustPanic := func(name string, fn func()) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}
+		mustPanic("Pready before Start", func() { sreq.Pready(p, 0) })
+		mustPanic("Wait before Start", func() { sreq.Wait(p) })
+		mustPanic("PbufPrepare before Start", func() { sreq.PbufPrepare(p) })
+		sreq.Start(p)
+		mustPanic("double Start", func() { sreq.Start(p) })
+		mustPanic("Pready before PbufPrepare", func() { sreq.Pready(p, 0) })
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePreadyPanics(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	src, dst := make([]float64, 4), make([]float64, 4)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 1, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("duplicate Pready should panic")
+					}
+				}()
+				sreq.Pready(p, 0)
+			}()
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 1, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreedRequestUsePanics(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		if r.ID != 0 {
+			return
+		}
+		sreq := PsendInit(p, r, 1, 1, make([]float64, 2), 1)
+		sreq.Free()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		sreq.Start(p)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionCountMismatchIsError(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 1, make([]float64, 8), 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 1, make([]float64, 8), 4)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+		}
+	})
+	if err := w.Run(); err == nil {
+		t.Fatal("mismatched partition counts should fail the simulation")
+	}
+}
+
+func TestPrequestCreateRequiresPrepare(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		if r.ID != 0 {
+			return
+		}
+		sreq := PsendInit(p, r, 1, 1, make([]float64, 2), 1)
+		if _, err := PrequestCreate(p, sreq, PrequestOpts{}); err == nil {
+			t.Error("PrequestCreate before PbufPrepare should fail")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendTest exercises MPI_Test-style non-blocking completion.
+func TestSendTestNonBlocking(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	src, dst := make([]float64, 4), make([]float64, 4)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 1, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			if sreq.Test(p) {
+				t.Error("Test true before Pready")
+			}
+			sreq.Pready(p, 0)
+			for !sreq.Test(p) {
+				p.Wait(sim.Microseconds(1))
+			}
+		case 1:
+			rreq := PrecvInit(p, r, 0, 1, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			if rreq.Test() && rreq.ArrivedCount() == 0 {
+				t.Error("recv Test true before arrival")
+			}
+			rreq.Wait(p)
+			if !rreq.Test() {
+				t.Error("recv Test false after Wait")
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random partition counts, buffer sizes, and epoch counts the
+// partitioned channel delivers exactly the sender's data.
+func TestPartitionedDeliveryProperty(t *testing.T) {
+	f := func(np, sz, ep uint8) bool {
+		nparts := int(np)%7 + 1
+		n := nparts * (int(sz)%9 + 1)
+		epochs := int(ep)%3 + 1
+		w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+		src := make([]float64, n)
+		dst := make([]float64, n)
+		ok := true
+		w.Spawn(func(r *mpi.Rank) {
+			p := r.Proc()
+			switch r.ID {
+			case 0:
+				sreq := PsendInit(p, r, 1, 1, src, nparts)
+				for e := 0; e < epochs; e++ {
+					for i := range src {
+						src[i] = float64(e*1000 + i)
+					}
+					sreq.Start(p)
+					sreq.PbufPrepare(p)
+					for i := 0; i < nparts; i++ {
+						sreq.Pready(p, i)
+					}
+					sreq.Wait(p)
+					r.Barrier(p)
+				}
+			case 1:
+				rreq := PrecvInit(p, r, 0, 1, dst, nparts)
+				for e := 0; e < epochs; e++ {
+					rreq.Start(p)
+					rreq.PbufPrepare(p)
+					rreq.Wait(p)
+					for i := range dst {
+						if dst[i] != float64(e*1000+i) {
+							ok = false
+						}
+					}
+					r.Barrier(p)
+				}
+			default:
+				for e := 0; e < epochs; e++ {
+					r.Barrier(p)
+				}
+			}
+		})
+		if err := w.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeviceParrivedPolledFromKernel: a receiver kernel polls the
+// GPU-global mirror of the arrival flags (device MPIX_Parrived binding).
+func TestDeviceParrivedPolledFromKernel(t *testing.T) {
+	src, dst := make([]float64, 8), make([]float64, 8)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	var observed int64
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 2, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 2, dst, 2)
+			mirror := rreq.EnableDeviceParrived(p)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p) // pushes arrivals to the device mirror
+			p.Wait(sim.Microseconds(5))
+			done := r.Stream.Launch(gpu.KernelSpec{
+				Name: "poll-parrived", Grid: 1, Block: 32,
+				Body: func(b *gpu.BlockCtx) {
+					observed = b.PollDeviceFlag(mirror, 0) + b.PollDeviceFlag(mirror, 1)
+				},
+			})
+			done.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if observed != 2 { // both flags carry epoch 1
+		t.Fatalf("device observed %d, want 2", observed)
+	}
+}
+
+// TestPreadyWarpEndToEnd drives the warp-level binding through a real
+// transfer: 4 warps, one partition each.
+func TestPreadyWarpEndToEnd(t *testing.T) {
+	const warps = 4
+	const threads = warps * 32
+	src, dst := make([]float64, threads), make([]float64, threads)
+	for i := range src {
+		src[i] = float64(i) * 0.5
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 7, src, warps)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "warp-pready", Grid: 1, Block: threads,
+				Body: func(b *gpu.BlockCtx) {
+					preq.PreadyWarp(b, func(wp int) int { return wp })
+				},
+			})
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 7, dst, warps)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i)*0.5 {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestPreadyThreadEndToEnd drives the unaggregated thread-level binding
+// (the MPI-ACX baseline): one partition per thread.
+func TestPreadyThreadEndToEnd(t *testing.T) {
+	const threads = 64
+	src, dst := make([]float64, threads), make([]float64, threads)
+	for i := range src {
+		src[i] = float64(i * i)
+	}
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 8, src, threads)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "thread-pready", Grid: 1, Block: threads,
+				Body: func(b *gpu.BlockCtx) {
+					preq.PreadyThread(b, func(gtid int) int { return gtid })
+				},
+			})
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 8, dst, threads)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i*i) {
+			t.Fatalf("dst[%d] = %v", i, dst[i])
+		}
+	}
+}
+
+// TestPrequestFreeReleasesAttachment: after Free, a new Prequest can be
+// created on the same channel.
+func TestPrequestFreeReleasesAttachment(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	src, dst := make([]float64, 4), make([]float64, 4)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 9, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			q1, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := PrequestCreate(p, sreq, PrequestOpts{}); err == nil {
+				t.Error("duplicate PrequestCreate should fail")
+			}
+			q1.Free()
+			q2, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Errorf("PrequestCreate after Free failed: %v", err)
+				return
+			}
+			r.Stream.Launch(gpu.KernelSpec{
+				Name: "k", Grid: 1, Block: 32,
+				Body: func(b *gpu.BlockCtx) { q2.PreadyBlock(b, 0) },
+			})
+			sreq.Wait(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 9, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+// Persistent-P2P-backed MPI Partitioned: the alternative implementation
+// strategy the paper's related work evaluates (Dosanjh et al. implement
+// partitioned over MPI persistent send/receive and find an RMA
+// implementation performs better; MPI Advance ships a persistent-based
+// partitioned library). Each transport partition is one persistent
+// send/receive pair; MPI_Pready starts the partition's persistent send.
+//
+// The backend exists to reproduce that comparison (see
+// BenchmarkAblationPersistentVsRMA): two-sided matching and per-partition
+// rendezvous make it slower than the UCX/RMA design of SendRequest for the
+// same epoch, on the simulator as on the real systems.
+
+// persistentTagBase separates persistent-partitioned traffic; each channel
+// consumes a contiguous block of maxPersistentParts tags.
+const (
+	persistentTagBase  = 1 << 22
+	maxPersistentParts = 1 << 10
+)
+
+// PersistentSendRequest is the send side of a persistent-backed partitioned
+// channel.
+type PersistentSendRequest struct {
+	R    *mpi.Rank
+	Dest int
+	Tag  int
+
+	parts   [][]float64
+	ops     []*mpi.PersistentOp
+	started bool
+	epoch   int
+	freed   bool
+}
+
+// PersistentRecvRequest is the receive side.
+type PersistentRecvRequest struct {
+	R   *mpi.Rank
+	Src int
+	Tag int
+
+	parts   [][]float64
+	ops     []*mpi.PersistentOp
+	started bool
+	epoch   int
+	freed   bool
+}
+
+func persistentTag(tag, part int) int {
+	if part >= maxPersistentParts {
+		panic(fmt.Sprintf("core: persistent backend supports at most %d partitions", maxPersistentParts))
+	}
+	return persistentTagBase + tag*maxPersistentParts + part
+}
+
+// PsendInitPersistent initializes the persistent-backed send side with
+// equal contiguous partitions.
+func PsendInitPersistent(p *sim.Proc, r *mpi.Rank, dest, tag int, buf []float64, nparts int) *PersistentSendRequest {
+	parts := EqualPartitions(buf, nparts)
+	p.Wait(r.W.Model.PinitCost)
+	req := &PersistentSendRequest{R: r, Dest: dest, Tag: tag, parts: parts}
+	for i, view := range parts {
+		req.ops = append(req.ops, r.SendInit(dest, persistentTag(tag, i), view))
+	}
+	return req
+}
+
+// PrecvInitPersistent initializes the persistent-backed receive side.
+func PrecvInitPersistent(p *sim.Proc, r *mpi.Rank, src, tag int, buf []float64, nparts int) *PersistentRecvRequest {
+	parts := EqualPartitions(buf, nparts)
+	p.Wait(r.W.Model.PinitCost)
+	req := &PersistentRecvRequest{R: r, Src: src, Tag: tag, parts: parts}
+	for i, view := range parts {
+		req.ops = append(req.ops, r.RecvInit(src, persistentTag(tag, i), view))
+	}
+	return req
+}
+
+// NParts returns the partition count.
+func (s *PersistentSendRequest) NParts() int { return len(s.parts) }
+
+// Start begins a send epoch. Nothing is posted yet: each partition's
+// persistent send starts at its Pready.
+func (s *PersistentSendRequest) Start(p *sim.Proc) {
+	s.check()
+	if s.started {
+		panic("core: Start on started persistent send request")
+	}
+	p.Wait(s.R.W.Model.HostPostOverhead)
+	s.epoch++
+	s.started = true
+}
+
+// PbufPrepare is a no-op for the persistent backend: two-sided matching
+// already guarantees data only lands in a posted receive buffer, which is
+// exactly the hazard MPIX_Pbuf_prepare exists to prevent on the RMA path.
+func (s *PersistentSendRequest) PbufPrepare(p *sim.Proc) {
+	s.check()
+	if !s.started {
+		panic("core: PbufPrepare before Start")
+	}
+}
+
+// Pready marks partition part ready: MPI_Start on its persistent send.
+func (s *PersistentSendRequest) Pready(p *sim.Proc, part int) {
+	s.check()
+	if !s.started {
+		panic("core: Pready before Start")
+	}
+	if part < 0 || part >= len(s.ops) {
+		panic(fmt.Sprintf("core: Pready partition %d of %d", part, len(s.ops)))
+	}
+	s.ops[part].Start(p)
+}
+
+// Wait completes the epoch: every partition's send must finish.
+func (s *PersistentSendRequest) Wait(p *sim.Proc) {
+	s.check()
+	if !s.started {
+		panic("core: Wait before Start")
+	}
+	for i, op := range s.ops {
+		if !op.Started() || op.Epoch() != s.epoch {
+			panic(fmt.Sprintf("core: Wait with partition %d never readied this epoch", i))
+		}
+		op.Wait(p)
+	}
+	s.started = false
+}
+
+// Free releases the request.
+func (s *PersistentSendRequest) Free() {
+	if s.started {
+		panic("core: Free of active persistent send request")
+	}
+	s.freed = true
+}
+
+func (s *PersistentSendRequest) check() {
+	if s.freed {
+		panic("core: use of freed persistent send request")
+	}
+}
+
+// NParts returns the partition count.
+func (rr *PersistentRecvRequest) NParts() int { return len(rr.parts) }
+
+// Start begins a receive epoch: all partition receives are posted up front
+// (the receive side of partitioned communication is not partitioned in
+// time — the standard's receiver just needs the buffer ready).
+func (rr *PersistentRecvRequest) Start(p *sim.Proc) {
+	rr.check()
+	if rr.started {
+		panic("core: Start on started persistent recv request")
+	}
+	rr.epoch++
+	rr.started = true
+	for _, op := range rr.ops {
+		op.Start(p)
+	}
+}
+
+// PbufPrepare is a no-op (see the send side).
+func (rr *PersistentRecvRequest) PbufPrepare(p *sim.Proc) {
+	rr.check()
+	if !rr.started {
+		panic("core: PbufPrepare before Start")
+	}
+}
+
+// Parrived reports whether partition part has been received this epoch.
+func (rr *PersistentRecvRequest) Parrived(part int) bool {
+	rr.check()
+	return rr.ops[part].Done()
+}
+
+// Wait completes the epoch: all partitions received.
+func (rr *PersistentRecvRequest) Wait(p *sim.Proc) {
+	rr.check()
+	if !rr.started {
+		panic("core: Wait before Start")
+	}
+	for _, op := range rr.ops {
+		op.Wait(p)
+	}
+	rr.started = false
+}
+
+// Free releases the request.
+func (rr *PersistentRecvRequest) Free() {
+	if rr.started {
+		panic("core: Free of active persistent recv request")
+	}
+	rr.freed = true
+}
+
+func (rr *PersistentRecvRequest) check() {
+	if rr.freed {
+		panic("core: use of freed persistent recv request")
+	}
+}

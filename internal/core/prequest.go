@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"mpipart/internal/gpu"
+	"mpipart/internal/sim"
+)
+
+// Mechanism selects the device-side copy mechanism of Section IV-A.4.
+type Mechanism int
+
+const (
+	// ProgressionEngine: device code raises a pinned-host-memory flag; the
+	// MPI progression engine issues the host MPI_Pready (data put plus
+	// chained completion signal). Works intra- and inter-node.
+	ProgressionEngine Mechanism = iota
+	// KernelCopy: device code stores the partition directly into the
+	// peer's memory over NVLink (through the ucp_rkey_ptr mapping) and
+	// the host only sends the completion signal. Intra-node only.
+	KernelCopy
+)
+
+func (m Mechanism) String() string {
+	if m == KernelCopy {
+		return "kernel-copy"
+	}
+	return "progression-engine"
+}
+
+// Pending-flag values written by the device into pinned host memory.
+const (
+	readyData      int64 = 1 // partition ready: host must transfer data
+	readyCompleted int64 = 2 // data already moved (Kernel Copy): signal only
+)
+
+// PrequestOpts configures MPIX_Prequest_create.
+type PrequestOpts struct {
+	// Mech selects the copy mechanism.
+	Mech Mechanism
+	// BlocksPerTransport is the multi-block aggregation threshold: how
+	// many device-side contributions (block Pready calls or kernel-copy
+	// deliveries) make up one transport partition. Zero means 1.
+	BlocksPerTransport int
+}
+
+// Prequest is the MPIX_Prequest device-side request object: the minimal
+// information a GPU needs to participate in a partitioned send, resident in
+// GPU global memory (Section IV-A.3). It contains the copy mechanism, the
+// aggregation threshold, the per-partition aggregation counters, and (for
+// the Kernel Copy path) the directly mapped peer memory obtained through
+// ucp_rkey_ptr.
+type Prequest struct {
+	Req  *SendRequest
+	Mech Mechanism
+
+	// threshold is the number of contributions aggregated into one
+	// transport partition.
+	threshold int
+	// counters live in GPU global memory, one per transport partition,
+	// atomically incremented until the threshold is reached.
+	counters []int64
+	// pending are the MPIX_Pready notification flags in pinned host
+	// memory, watched by the progression engine.
+	pending *gpu.Flags
+
+	// Kernel Copy state: direct views of the peer's partitions (CUDA IPC
+	// mapping) and the NVLink route they are reached over.
+	remoteParts [][]float64
+	route       *sim.Pipe
+
+	freed bool
+}
+
+// PrequestCreate converts a prepared send request into a device request
+// (MPIX_Prequest_create). It is a *blocking* call: the returned object must
+// be valid before the first device MPIX_Pready, so the host pays for pinned
+// flag allocation, device allocation of the counters, registration of the
+// flags, and the host→device copy of the request structure — the dominant
+// parts of the 110.7 µs the paper measures (Table I).
+func PrequestCreate(p *sim.Proc, req *SendRequest, opts PrequestOpts) (*Prequest, error) {
+	if !req.prepared {
+		return nil, fmt.Errorf("core: PrequestCreate before PbufPrepare on %s", req.Key)
+	}
+	if req.preq != nil {
+		return nil, fmt.Errorf("core: duplicate PrequestCreate on %s", req.Key)
+	}
+	th := opts.BlocksPerTransport
+	if th <= 0 {
+		th = 1
+	}
+	m := req.R.W.Model
+	q := &Prequest{
+		Req:       req,
+		Mech:      opts.Mech,
+		threshold: th,
+		counters:  make([]int64, req.NParts()),
+		// Pending flags share the owning worker's condition so device-side
+		// MPIX_Pready stores wake the progression engine the instant they
+		// become host-visible.
+		pending: gpu.NewFlagsShared("pready:"+req.Key.String(), req.NParts(), req.R.Worker.Cond()),
+	}
+	if opts.Mech == KernelCopy {
+		parts, _, err := req.ep.RkeyPtr(req.rkey)
+		if err != nil {
+			return nil, fmt.Errorf("core: KernelCopy unavailable on %s: %w", req.Key, err)
+		}
+		q.remoteParts = parts
+		q.route = req.ep.Route()
+	}
+	// Charge the blocking setup: pinned host flags, device structures,
+	// registration of the flag region, and the small H2D memcpy of the
+	// populated request object.
+	p.Wait(m.HostAllocPinnedCost)
+	p.Wait(m.DeviceAllocCost)
+	p.Wait(m.MemMapCost(int64(8 * req.NParts())))
+	req.R.Dev.MemcpyH2D(p, int64(64+16*req.NParts()))
+	req.preq = q
+	return q, nil
+}
+
+// Free releases the device request (MPIX_Prequest_free): the GPU
+// global-memory structures and the pinned host flags.
+func (q *Prequest) Free() {
+	q.freed = true
+	if q.Req != nil && q.Req.preq == q {
+		q.Req.preq = nil
+	}
+}
+
+// resetEpoch clears the device-visible per-epoch state (called from
+// MPI_Start on the owning request).
+func (q *Prequest) resetEpoch() {
+	for i := range q.counters {
+		q.counters[i] = 0
+	}
+	q.pending.Reset()
+}
+
+// NParts returns the transport partition count.
+func (q *Prequest) NParts() int { return q.Req.NParts() }
+
+// Pending exposes the pinned-host-memory notification flags (tests and the
+// progression engine use it).
+func (q *Prequest) Pending() *gpu.Flags { return q.pending }
+
+func (q *Prequest) checkKernelUse() {
+	if q.freed {
+		panic("core: device use of freed Prequest " + q.Req.Key.String())
+	}
+}
+
+// readyValue is what the device writes into the pending flag: data still to
+// be moved for the progression engine, already-moved for kernel copy.
+func (q *Prequest) readyValue() int64 {
+	if q.Mech == KernelCopy {
+		return readyCompleted
+	}
+	return readyData
+}
+
+// ---- Device bindings (called from kernel bodies) ----
+
+// PreadyThread is the thread-level MPIX_Pready binding
+// (MPIX_Pready_thread): every thread writes its own partition's
+// notification flag into pinned host memory — no aggregation, the baseline
+// of Fig. 3 and the behaviour of MPI-ACX.
+func (q *Prequest) PreadyThread(b *gpu.BlockCtx, partForThread func(gtid int) int) {
+	q.checkKernelUse()
+	v := q.readyValue()
+	b.ForEachThread(func(gtid int) {
+		b.WriteHostFlag(q.pending, partForThread(gtid), v)
+	})
+}
+
+// PreadyWarp is the warp-level binding (MPIX_Pready_warp): threads of each
+// warp synchronize with __syncwarp and lane 0 writes one notification per
+// warp.
+func (q *Prequest) PreadyWarp(b *gpu.BlockCtx, partForWarp func(warp int) int) {
+	q.checkKernelUse()
+	v := q.readyValue()
+	for w := 0; w < b.Warps(); w++ {
+		b.SyncWarp()
+		b.WriteHostFlag(q.pending, partForWarp(w), v)
+	}
+}
+
+// PreadyBlock is the block-level binding (MPIX_Pready_block): the block
+// synchronizes with __syncthreads and thread 0 writes a single
+// notification.
+func (q *Prequest) PreadyBlock(b *gpu.BlockCtx, part int) {
+	q.checkKernelUse()
+	b.SyncThreads()
+	b.WriteHostFlag(q.pending, part, q.readyValue())
+}
+
+// PreadyBlockAggregated aggregates multiple blocks into one transport
+// partition: each block atomically increments the partition's counter in
+// GPU global memory; the block that reaches the threshold writes the single
+// host notification (the counters created by MPIX_Prequest_create).
+func (q *Prequest) PreadyBlockAggregated(b *gpu.BlockCtx, part int) {
+	q.checkKernelUse()
+	b.SyncThreads()
+	if b.AtomicAdd(&q.counters[part], 1) == int64(q.threshold) {
+		b.WriteHostFlag(q.pending, part, q.readyValue())
+	}
+}
+
+// KernelCopyRange is the Kernel Copy data path: the calling block stores
+// elements [lo,hi) of partition part directly into the peer's mapped
+// buffer over NVLink, then increments the partition's aggregation counter
+// in GPU global memory; the block that reaches the threshold raises the
+// host notification ("data already moved"), and the progression engine
+// sends only the completion signal to the receiver (④.a/④.b in Fig. 1).
+//
+// The completion signal travels the same NVLink route as the stores, whose
+// FIFO ordering guarantees it can never pass the data — the simulated
+// counterpart of the fence + same-QP ordering the real implementation
+// relies on.
+func (q *Prequest) KernelCopyRange(b *gpu.BlockCtx, part, lo, hi int) {
+	q.checkKernelUse()
+	if q.Mech != KernelCopy {
+		panic("core: KernelCopyRange on a progression-engine Prequest")
+	}
+	src := q.Req.parts[part][lo:hi]
+	dst := q.remoteParts[part][lo:hi]
+	b.RemoteCopy(q.route, dst, src, nil)
+	if b.AtomicAdd(&q.counters[part], 1) == int64(q.threshold) {
+		b.WriteHostFlag(q.pending, part, readyCompleted)
+	}
+}
+
+// KernelCopyWholePartition copies all of partition part from a single
+// block (threshold-1 channels).
+func (q *Prequest) KernelCopyWholePartition(b *gpu.BlockCtx, part int) {
+	q.KernelCopyRange(b, part, 0, len(q.Req.parts[part]))
+}

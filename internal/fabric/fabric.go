@@ -1,0 +1,151 @@
+// Package fabric simulates the interconnects of the GH200 testbed: NVLink4
+// GPU↔GPU links within a node, InfiniBand (ConnectX-7) between nodes, and
+// the NVLink-C2C host↔device path of each superchip.
+//
+// Every directed path is a sim.Pipe with an alpha-beta cost model and FIFO
+// serialization, created lazily per (src,dst) GPU pair. Intra-node GPU pairs
+// get a dedicated NVLink pipe (the testbed has 6 NVLink4 links, 150 GB/s,
+// between each pair); inter-node paths serialize through the source GPU's
+// NIC egress pipe plus a per-message wire latency, which models that a
+// superchip's ConnectX-7 is shared across all of its remote peers.
+package fabric
+
+import (
+	"fmt"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/sim"
+)
+
+// Fabric owns all pipes of a simulated machine.
+type Fabric struct {
+	K     *sim.Kernel
+	Model *cluster.Model
+	Topo  cluster.Topology
+
+	nvlink   map[[2]int]*sim.Pipe // directed intra-node GPU pair
+	nicOut   map[int]*sim.Pipe    // per-GPU NIC egress (inter-node)
+	hostDev  map[int]*sim.Pipe    // per-GPU host→device C2C bulk
+	devHost  map[int]*sim.Pipe    // per-GPU device→host C2C bulk
+	flagPipe map[int]*sim.Pipe    // per-GPU serialized device→host flag writes
+	loop     map[int]*sim.Pipe    // per-node host loopback (control messages)
+}
+
+// New creates a Fabric for the given machine.
+func New(k *sim.Kernel, m *cluster.Model, topo cluster.Topology) *Fabric {
+	return &Fabric{
+		K:        k,
+		Model:    m,
+		Topo:     topo,
+		nvlink:   make(map[[2]int]*sim.Pipe),
+		nicOut:   make(map[int]*sim.Pipe),
+		hostDev:  make(map[int]*sim.Pipe),
+		devHost:  make(map[int]*sim.Pipe),
+		flagPipe: make(map[int]*sim.Pipe),
+		loop:     make(map[int]*sim.Pipe),
+	}
+}
+
+// Route returns the directed data pipe from GPU src to GPU dst. Intra-node
+// routes use the pair's NVLink; inter-node routes use src's NIC egress with
+// IB wire latency. src == dst returns a fast local pipe (device-local copy).
+func (f *Fabric) Route(src, dst int) *sim.Pipe {
+	if src == dst {
+		return f.local(src)
+	}
+	if f.Topo.SameNode(src, dst) {
+		key := [2]int{src, dst}
+		p, ok := f.nvlink[key]
+		if !ok {
+			p = sim.NewPipe(f.K, fmt.Sprintf("nvlink-%d-%d", src, dst),
+				f.Model.NVLinkLatency, f.Model.NVLinkBytesPerSec)
+			f.nvlink[key] = p
+		}
+		return p
+	}
+	p, ok := f.nicOut[src]
+	if !ok {
+		p = sim.NewPipe(f.K, fmt.Sprintf("ib-nic-%d", src),
+			f.Model.IBLatency, f.Model.IBBytesPerSec)
+		f.nicOut[src] = p
+	}
+	return p
+}
+
+// local returns a device-local pipe (HBM copy) for src==dst routes; it is
+// effectively instantaneous relative to inter-device paths.
+func (f *Fabric) local(g int) *sim.Pipe {
+	key := [2]int{g, g}
+	p, ok := f.nvlink[key]
+	if !ok {
+		p = sim.NewPipe(f.K, fmt.Sprintf("hbm-%d", g), sim.Nanoseconds(300), 3000e9)
+		f.nvlink[key] = p
+	}
+	return p
+}
+
+// HostToDevice returns GPU g's bulk host→device C2C pipe.
+func (f *Fabric) HostToDevice(g int) *sim.Pipe {
+	p, ok := f.hostDev[g]
+	if !ok {
+		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-h2d-%d", g),
+			f.Model.C2CLatency, f.Model.C2CBytesPerSec)
+		f.hostDev[g] = p
+	}
+	return p
+}
+
+// DeviceToHost returns GPU g's bulk device→host C2C pipe.
+func (f *Fabric) DeviceToHost(g int) *sim.Pipe {
+	p, ok := f.devHost[g]
+	if !ok {
+		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-d2h-%d", g),
+			f.Model.C2CLatency, f.Model.C2CBytesPerSec)
+		f.devHost[g] = p
+	}
+	return p
+}
+
+// FlagWritePipe returns GPU g's serialized device→host flag-write path.
+// Each store occupies the pipe for Model.HostFlagWriteGap regardless of
+// payload size — this serialization is what makes thread-level MPIX_Pready
+// 271× more expensive than block-level (Fig. 3).
+func (f *Fabric) FlagWritePipe(g int) *sim.Pipe {
+	p, ok := f.flagPipe[g]
+	if !ok {
+		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-flags-%d", g),
+			f.Model.HostFlagWriteLatency, 0)
+		p.PerOpOverhead = f.Model.HostFlagWriteGap
+		f.flagPipe[g] = p
+	}
+	return p
+}
+
+// ControlRoute returns the control-message (active message) pipe between the
+// host CPUs owning GPUs src and dst: shared-memory loopback within a node,
+// the NIC path between nodes.
+func (f *Fabric) ControlRoute(src, dst int) *sim.Pipe {
+	if f.Topo.SameNode(src, dst) {
+		n := f.Topo.NodeOf(src)
+		p, ok := f.loop[n]
+		if !ok {
+			p = sim.NewPipe(f.K, fmt.Sprintf("shm-%d", n),
+				f.Model.HostLoopbackLatency, f.Model.ShmBytesPerSec)
+			f.loop[n] = p
+		}
+		return p
+	}
+	return f.Route(src, dst)
+}
+
+// TransferBytes computes the pure alpha-beta time for a transfer of the
+// given size on the route, ignoring queueing. Useful for analytic baselines
+// (e.g. the NCCL ring model) and for tests.
+func (f *Fabric) TransferBytes(src, dst int, bytes int64) sim.Duration {
+	p := f.Route(src, dst)
+	d := p.Latency + p.PerOpOverhead
+	if p.BytesPerSec > 0 {
+		d += sim.Duration(float64(bytes) / p.BytesPerSec * 1e9)
+	}
+	return d
+}

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpipart/internal/sim"
+)
+
+// LinkStat is one pipe's cumulative usage.
+type LinkStat struct {
+	Name  string
+	Ops   int64
+	Bytes int64
+	Busy  sim.Duration
+}
+
+// Stats returns the usage of every pipe created so far, sorted by name for
+// deterministic output.
+func (f *Fabric) Stats() []LinkStat {
+	var out []LinkStat
+	add := func(p *sim.Pipe) {
+		ops, bytes, busy := p.Stats()
+		out = append(out, LinkStat{Name: p.Name, Ops: ops, Bytes: bytes, Busy: busy})
+	}
+	for _, p := range f.nvlink {
+		add(p)
+	}
+	for _, p := range f.nicOut {
+		add(p)
+	}
+	for _, p := range f.hostDev {
+		add(p)
+	}
+	for _, p := range f.devHost {
+		add(p)
+	}
+	for _, p := range f.flagPipe {
+		add(p)
+	}
+	for _, p := range f.loop {
+		add(p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteStats prints a usage report for every link that carried traffic.
+func (f *Fabric) WriteStats(w io.Writer) {
+	fmt.Fprintf(w, "%-16s %10s %14s %14s\n", "link", "ops", "bytes", "busy")
+	for _, s := range f.Stats() {
+		if s.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-16s %10d %14d %14s\n", s.Name, s.Ops, s.Bytes, s.Busy)
+	}
+}
+
+// TotalBytes sums the traffic over all links (useful for verifying the
+// communication volume of an algorithm, e.g. ring allreduce's 2(P-1)/P·N
+// per rank).
+func (f *Fabric) TotalBytes() int64 {
+	var n int64
+	for _, s := range f.Stats() {
+		n += s.Bytes
+	}
+	return n
+}

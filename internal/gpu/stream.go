@@ -1,0 +1,156 @@
+package gpu
+
+import (
+	"fmt"
+
+	"mpipart/internal/sim"
+)
+
+// Stream is a CUDA-like in-order execution queue. A daemon process services
+// the FIFO: each kernel launch waits the launch latency, then executes wave
+// by wave under the occupancy model. Host code enqueues with Launch (cheap,
+// asynchronous) and joins with Synchronize, which charges the paper's
+// 7.8 µs cudaStreamSynchronize cost.
+type Stream struct {
+	dev  *Device
+	name string
+
+	q         *sim.Queue
+	completed *sim.Counter
+	enqueued  int
+	proc      *sim.Proc
+}
+
+type streamOp struct {
+	spec *KernelSpec
+	fn   func(p *sim.Proc) // fused op (e.g. an NCCL collective kernel)
+	name string
+	done *sim.Gate
+}
+
+// NewStream creates a stream on the device and starts its service daemon.
+func (d *Device) NewStream(name string) *Stream {
+	s := &Stream{
+		dev:       d,
+		name:      name,
+		q:         sim.NewQueue(d.K, fmt.Sprintf("stream:%s@gpu%d", name, d.ID)),
+		completed: sim.NewCounter(d.K, fmt.Sprintf("stream-done:%s@gpu%d", name, d.ID)),
+	}
+	s.proc = d.K.GoDaemon(fmt.Sprintf("stream:%s@gpu%d", name, d.ID), s.serve)
+	d.streams = append(d.streams, s)
+	return s
+}
+
+// Device returns the owning device.
+func (s *Stream) Device() *Device { return s.dev }
+
+// Launch enqueues a kernel and returns a Gate that opens when the kernel
+// (all its waves) has executed. Launch itself is nearly free on the host
+// (the driver call cost is folded into KernelLaunchCost, charged on the
+// stream between dispatch and kernel start, as measured in Fig. 2).
+func (s *Stream) Launch(spec KernelSpec) *sim.Gate {
+	if spec.Grid <= 0 || spec.Block <= 0 {
+		panic(fmt.Sprintf("gpu: invalid launch geometry %dx%d for %q", spec.Grid, spec.Block, spec.Name))
+	}
+	if spec.Block > 1024 {
+		panic(fmt.Sprintf("gpu: block size %d exceeds 1024 for %q", spec.Block, spec.Name))
+	}
+	op := &streamOp{spec: &spec, done: sim.NewGate(s.dev.K, "kernel:"+spec.Name)}
+	s.enqueued++
+	s.q.Push(op)
+	return op.done
+}
+
+// Enqueue places a fused operation on the stream: fn executes in stream
+// order on the stream's process after the kernel-launch latency. NCCL-style
+// collectives use this — a single persistent kernel that moves data and
+// synchronizes with peer devices without host involvement.
+func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Gate {
+	op := &streamOp{fn: fn, name: name, done: sim.NewGate(s.dev.K, "fused:"+name)}
+	s.enqueued++
+	s.q.Push(op)
+	return op.done
+}
+
+// serve is the stream daemon: pop, execute, complete, forever.
+func (s *Stream) serve(p *sim.Proc) {
+	for {
+		op := s.q.Pop(p).(*streamOp)
+		if op.fn != nil {
+			p.Wait(s.dev.M.KernelLaunchCost)
+			t0 := p.Now()
+			op.fn(p)
+			s.dev.K.Tracer().Span(s.track(), op.name, t0, p.Now())
+		} else {
+			s.execute(p, op.spec)
+		}
+		op.done.Open()
+		s.completed.Add(1)
+	}
+}
+
+// execute runs one kernel wave-by-wave. Timing per wave: the wave's compute
+// time elapses first, then block bodies run (their stores and signalling
+// occur at end-of-wave), then the wave is extended by the maximum
+// block-local extra charge (blocks in a wave are parallel across SMs, so
+// their local costs overlap; posted stores serialize on pipes regardless).
+func (s *Stream) execute(p *sim.Proc, spec *KernelSpec) {
+	m := s.dev.M
+	p.Wait(m.KernelLaunchCost)
+	kstart := p.Now()
+	defer func() {
+		s.dev.K.Tracer().Span(s.track(), spec.Name, kstart, p.Now(),
+			sim.TraceKV{K: "grid", V: fmt.Sprint(spec.Grid)},
+			sim.TraceKV{K: "block", V: fmt.Sprint(spec.Block)})
+	}()
+	wave := spec.WaveTime
+	if wave == 0 {
+		wave = m.VecAddWaveTime
+	}
+	bpw := m.BlocksPerWave(spec.Block)
+	for start := 0; start < spec.Grid; start += bpw {
+		end := start + bpw
+		if end > spec.Grid {
+			end = spec.Grid
+		}
+		p.WaitUntil(s.dev.ClaimWave(wave))
+		var maxExtra sim.Duration
+		if spec.Body != nil {
+			for blk := start; blk < end; blk++ {
+				bc := BlockCtx{Idx: blk, Dim: spec.Block, Grid: spec.Grid, stream: s}
+				spec.Body(&bc)
+				if bc.extra > maxExtra {
+					maxExtra = bc.extra
+				}
+			}
+		}
+		if maxExtra > 0 {
+			p.Wait(maxExtra)
+		}
+	}
+}
+
+// Pending reports how many enqueued ops have not completed.
+func (s *Stream) Pending() int { return s.enqueued - s.completed.Value() }
+
+// WaitIdle parks p until every op enqueued so far has completed, without
+// charging the synchronize cost (used internally, e.g. by collectives that
+// poll completion as part of progression).
+func (s *Stream) WaitIdle(p *sim.Proc) {
+	s.completed.WaitAtLeast(p, s.enqueued)
+}
+
+// Synchronize models cudaStreamSynchronize: it parks p until the stream
+// drains, then charges the fixed synchronization cost (7.8 µs on GH200,
+// independent of kernel size — Fig. 2).
+func (s *Stream) Synchronize(p *sim.Proc) {
+	t0 := p.Now()
+	s.WaitIdle(p)
+	p.Wait(s.dev.M.StreamSyncCost)
+	s.dev.K.Tracer().Span(s.track(), "streamSynchronize", t0, p.Now())
+}
+
+// track names this stream's trace row.
+func (s *Stream) track() string {
+	return fmt.Sprintf("gpu%d/%s", s.dev.ID, s.name)
+}

@@ -1,0 +1,164 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/mpi"
+)
+
+func TestDecompose(t *testing.T) {
+	cases := []struct{ p, px, py int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2}, {6, 3, 2}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		px, py := Decompose(c.p)
+		if px != c.px || py != c.py {
+			t.Errorf("Decompose(%d) = %dx%d, want %dx%d", c.p, px, py, c.px, c.py)
+		}
+		if px*py != c.p {
+			t.Errorf("Decompose(%d) does not cover", c.p)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{PX: 2, PY: 2, NX: 8, NY: 8, Iters: 1}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{PX: 2, PY: 1, NX: 8, NY: 8, Iters: 1}).Validate(4); err == nil {
+		t.Fatal("wrong decomposition accepted")
+	}
+	if err := (Config{PX: 2, PY: 2, NX: 0, NY: 8, Iters: 1}).Validate(4); err == nil {
+		t.Fatal("zero tile accepted")
+	}
+}
+
+// run executes a variant SPMD and returns the per-rank checksums.
+func run(t *testing.T, topo cluster.Topology, cfg Config,
+	variant func(r *mpi.Rank, cfg Config) Stats) ([]float64, []Stats) {
+	t.Helper()
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	sums := make([]float64, w.Size())
+	stats := make([]Stats, w.Size())
+	w.Spawn(func(r *mpi.Rank) {
+		st := variant(r, cfg)
+		sums[r.ID] = st.Checksum
+		stats[r.ID] = st
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sums, stats
+}
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestTraditionalMatchesReference4GPU(t *testing.T) {
+	cfg := Config{PX: 2, PY: 2, NX: 12, NY: 10, Iters: 6}
+	want := Reference(cfg)
+	got, _ := run(t, cluster.OneNodeGH200(), cfg, Traditional)
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("rank %d checksum = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPartitionedMatchesReference4GPU(t *testing.T) {
+	cfg := Config{PX: 2, PY: 2, NX: 12, NY: 10, Iters: 6}
+	want := Reference(cfg)
+	got, _ := run(t, cluster.OneNodeGH200(), cfg, Partitioned)
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("rank %d checksum = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPartitionedMatchesReference8GPU(t *testing.T) {
+	cfg := Config{PX: 4, PY: 2, NX: 8, NY: 8, Iters: 5}
+	want := Reference(cfg)
+	got, _ := run(t, cluster.TwoNodeGH200(), cfg, Partitioned)
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("rank %d checksum = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTraditionalMatchesReference8GPU(t *testing.T) {
+	cfg := Config{PX: 4, PY: 2, NX: 8, NY: 8, Iters: 5}
+	want := Reference(cfg)
+	got, _ := run(t, cluster.TwoNodeGH200(), cfg, Traditional)
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("rank %d checksum = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVariantsAgreeBitwise(t *testing.T) {
+	cfg := Config{PX: 2, PY: 2, NX: 16, NY: 16, Iters: 4}
+	a, _ := run(t, cluster.OneNodeGH200(), cfg, Traditional)
+	b, _ := run(t, cluster.OneNodeGH200(), cfg, Partitioned)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: traditional %v vs partitioned %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOddIterationCount(t *testing.T) {
+	// Odd iteration counts exercise the parity double-buffering.
+	cfg := Config{PX: 2, PY: 2, NX: 8, NY: 8, Iters: 7}
+	want := Reference(cfg)
+	got, _ := run(t, cluster.OneNodeGH200(), cfg, Partitioned)
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Fatalf("rank %d checksum = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolutionConvergesTowardBoundary(t *testing.T) {
+	// With the top edge at 1 and zero initial guess, heat creeps downward:
+	// after a few iterations the checksum must be positive and growing.
+	cfg := Config{PX: 2, PY: 2, NX: 8, NY: 8, Iters: 2}
+	short := Reference(cfg)
+	cfg.Iters = 8
+	long := Reference(cfg)
+	var s1, s2 float64
+	for i := range short {
+		s1 += short[i]
+		s2 += long[i]
+	}
+	if !(s2 > s1 && s1 > 0) {
+		t.Fatalf("no diffusion: %v then %v", s1, s2)
+	}
+}
+
+func TestPartitionedSpeedupShape(t *testing.T) {
+	// Fig. 8/9 shape: partitioned ≥ traditional in GFLOP/s, with the edge
+	// larger on two nodes than one (1.06x vs 1.30x in the paper). Here we
+	// only assert the ordering (the exact factors are bench territory).
+	cfg := Config{PX: 2, PY: 2, NX: 64, NY: 64, Iters: 4}
+	_, st := run(t, cluster.OneNodeGH200(), cfg, Traditional)
+	_, sp := run(t, cluster.OneNodeGH200(), cfg, Partitioned)
+	if sp[0].GFLOPs <= st[0].GFLOPs {
+		t.Fatalf("partitioned GFLOPs %.3f <= traditional %.3f", sp[0].GFLOPs, st[0].GFLOPs)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := Config{PX: 2, PY: 2, NX: 8, NY: 8, Iters: 3}
+	_, st := run(t, cluster.OneNodeGH200(), cfg, Traditional)
+	for i, s := range st {
+		if s.Elapsed <= 0 || s.GFLOPs <= 0 {
+			t.Fatalf("rank %d stats: %+v", i, s)
+		}
+	}
+}

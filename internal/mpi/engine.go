@@ -1,0 +1,79 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpipart/internal/sim"
+)
+
+// Progressor is a unit of work the progression engine advances: an active
+// partitioned request (watching device flags, issuing host-side Pready
+// puts) or a partitioned-collective schedule (Algorithm 2).
+//
+// Progress reports (didWork, stillActive): didWork is whether any state
+// advanced this call (used to decide whether the engine may park),
+// stillActive is whether the item should remain registered.
+type Progressor interface {
+	Progress(p *sim.Proc) (didWork, stillActive bool)
+}
+
+// Engine is the per-rank MPI progression engine: a daemon process that
+// advances registered items and progresses the UCP worker (running
+// put-completion callbacks such as the chained receive-side arrival-flag
+// puts). It is event-driven: every wake source of the partitioned library —
+// device MPIX_Pready flags in pinned host memory, delivered active
+// messages, queued put completions — broadcasts the worker's condition
+// variable, on which the engine parks when it has nothing to do. On waking
+// it charges one polling interval, modelling the detection latency of the
+// real engine's poll loop.
+type Engine struct {
+	r     *Rank
+	items []Progressor
+	proc  *sim.Proc
+}
+
+func newEngine(r *Rank) *Engine {
+	e := &Engine{r: r}
+	e.proc = r.W.K.GoDaemon(fmt.Sprintf("progress%d", r.ID), e.loop)
+	return e
+}
+
+// Register adds an item and wakes the engine.
+func (e *Engine) Register(it Progressor) {
+	e.items = append(e.items, it)
+	e.r.Worker.Cond().Broadcast()
+}
+
+// Active reports the number of registered items (for tests).
+func (e *Engine) Active() int { return len(e.items) }
+
+func (e *Engine) loop(p *sim.Proc) {
+	w := e.r.Worker
+	for {
+		did := false
+		if len(e.items) > 0 {
+			// Swap out the item list so Register calls made from inside
+			// Progress (e.g. a collective arming a next phase) land on the
+			// fresh list and are retained.
+			old := e.items
+			e.items = nil
+			for _, it := range old {
+				dw, active := it.Progress(p)
+				did = did || dw
+				if active {
+					e.items = append(e.items, it)
+				}
+			}
+		}
+		if w.Progress(p) > 0 {
+			did = true
+		}
+		if !did {
+			w.Cond().Wait(p)
+			// Detection latency: the real engine polls; model the average
+			// delay between an event becoming visible and the poll loop
+			// acting on it.
+			p.Wait(e.r.W.Model.ProgressPollInterval)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package mpi
+
+import (
+	"fmt"
+
+	"mpipart/internal/sim"
+)
+
+// PersistentOp is a persistent point-to-point request
+// (MPI_Send_init/MPI_Recv_init): the envelope and buffer are fixed once,
+// then each epoch is Start → Wait. The persistent-backed partitioned
+// implementation (core.PsendInitPersistent) builds on these, mirroring the
+// designs the paper's related work compares against RMA.
+type PersistentOp struct {
+	r      *Rank
+	peer   int
+	tag    int
+	buf    []float64
+	isSend bool
+
+	epoch int
+	op    *Op
+}
+
+// SendInit creates a persistent send request (MPI_Send_init).
+func (r *Rank) SendInit(dst, tag int, buf []float64) *PersistentOp {
+	if dst < 0 || dst >= r.W.Size() {
+		panic(fmt.Sprintf("mpi: SendInit to invalid rank %d", dst))
+	}
+	return &PersistentOp{r: r, peer: dst, tag: tag, buf: buf, isSend: true}
+}
+
+// RecvInit creates a persistent receive request (MPI_Recv_init).
+func (r *Rank) RecvInit(src, tag int, buf []float64) *PersistentOp {
+	if src < 0 || src >= r.W.Size() {
+		panic(fmt.Sprintf("mpi: RecvInit from invalid rank %d", src))
+	}
+	return &PersistentOp{r: r, peer: src, tag: tag, buf: buf}
+}
+
+// Start begins one epoch of the persistent request (MPI_Start).
+func (po *PersistentOp) Start(p *sim.Proc) {
+	if po.op != nil && !po.op.Done() {
+		panic("mpi: Start on active persistent request")
+	}
+	po.epoch++
+	if po.isSend {
+		po.op = po.r.Isend(p, po.peer, po.tag, po.buf)
+	} else {
+		po.op = po.r.Irecv(p, po.peer, po.tag, po.buf)
+	}
+}
+
+// Wait completes the current epoch (MPI_Wait).
+func (po *PersistentOp) Wait(p *sim.Proc) {
+	if po.op == nil {
+		panic("mpi: Wait on never-started persistent request")
+	}
+	po.op.Wait(p)
+}
+
+// Done reports completion of the current epoch without blocking (MPI_Test).
+func (po *PersistentOp) Done() bool {
+	return po.op != nil && po.op.Done()
+}
+
+// Started reports whether the current epoch has begun.
+func (po *PersistentOp) Started() bool { return po.op != nil }
+
+// Epoch returns how many times the request has been started.
+func (po *PersistentOp) Epoch() int { return po.epoch }

@@ -1,0 +1,237 @@
+package nccl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+func runNCCLAllreduce(t *testing.T, topo cluster.Topology, n int,
+	fill func(rank, i int) float64) ([][]float64, sim.Duration) {
+	t.Helper()
+	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	comm := NewComm(w)
+	P := w.Size()
+	results := make([][]float64, P)
+	var elapsed sim.Duration
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		for i := range buf {
+			buf[i] = fill(r.ID, i)
+		}
+		r.Barrier(p)
+		t0 := p.Now()
+		comm.AllReduce(r, r.Stream, buf)
+		r.Stream.Synchronize(p)
+		if r.ID == 0 {
+			elapsed = sim.Duration(p.Now() - t0)
+		}
+		results[r.ID] = append([]float64(nil), buf...)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return results, elapsed
+}
+
+func checkSum(t *testing.T, results [][]float64, P int, fill func(rank, i int) float64) {
+	t.Helper()
+	for i := range results[0] {
+		want := 0.0
+		for rk := 0; rk < P; rk++ {
+			want += fill(rk, i)
+		}
+		for rk := 0; rk < P; rk++ {
+			if math.Abs(results[rk][i]-want) > 1e-9 {
+				t.Fatalf("rank %d elem %d = %v, want %v", rk, i, results[rk][i], want)
+			}
+		}
+	}
+}
+
+func TestNCCLAllreduceOneNode(t *testing.T) {
+	fill := func(rank, i int) float64 { return float64(rank+1) + float64(i)*0.25 }
+	res, _ := runNCCLAllreduce(t, cluster.OneNodeGH200(), 128, fill)
+	checkSum(t, res, 4, fill)
+}
+
+func TestNCCLAllreduceTwoNodes(t *testing.T) {
+	fill := func(rank, i int) float64 { return float64(rank*3 + i) }
+	res, _ := runNCCLAllreduce(t, cluster.TwoNodeGH200(), 96, fill)
+	checkSum(t, res, 8, fill)
+}
+
+func TestNCCLAllreduceUnevenSize(t *testing.T) {
+	fill := func(rank, i int) float64 { return float64(rank ^ i) }
+	res, _ := runNCCLAllreduce(t, cluster.OneNodeGH200(), 53, fill)
+	checkSum(t, res, 4, fill)
+}
+
+func TestNCCLSingleRank(t *testing.T) {
+	w := mpi.NewWorld(cluster.Topology{Nodes: 1, GPUsPerNode: 1}, cluster.DefaultModel(), 1)
+	comm := NewComm(w)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := []float64{1, 2, 3}
+		comm.AllReduce(r, r.Stream, buf)
+		r.Stream.Synchronize(p)
+		if buf[0] != 1 || buf[2] != 3 {
+			t.Error("single-rank allreduce must be identity")
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNCCLStreamOrdering(t *testing.T) {
+	// A kernel enqueued before the collective must complete before it; the
+	// collective must complete before a later kernel.
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	comm := NewComm(w)
+	const n = 64
+	ok := true
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		r.Stream.Launch(gpu.KernelSpec{
+			Name: "produce", Grid: 1, Block: n,
+			Body: func(b *gpu.BlockCtx) {
+				b.ForEachThread(func(i int) { buf[i] = 1 })
+			},
+		})
+		comm.AllReduce(r, r.Stream, buf)
+		r.Stream.Launch(gpu.KernelSpec{
+			Name: "consume", Grid: 1, Block: n,
+			Body: func(b *gpu.BlockCtx) {
+				b.ForEachThread(func(i int) {
+					if buf[i] != float64(w.Size()) {
+						ok = false
+					}
+				})
+			},
+		})
+		r.Stream.Synchronize(p)
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("stream ordering violated: consumer saw unreduced data")
+	}
+}
+
+func TestNCCLRepeatedCollectives(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	comm := NewComm(w)
+	P := w.Size()
+	results := make([]float64, P)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := []float64{1}
+		for it := 0; it < 3; it++ {
+			comm.AllReduce(r, r.Stream, buf)
+			r.Stream.Synchronize(p)
+		}
+		results[r.ID] = buf[0]
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rk := 0; rk < P; rk++ {
+		if results[rk] != float64(P*P*P) { // x -> P*x three times
+			t.Fatalf("rank %d = %v, want %v", rk, results[rk], P*P*P)
+		}
+	}
+}
+
+// NCCL must be much faster than the host-staged MPI_Allreduce and faster
+// than it is possible for a per-step launch+sync approach to be.
+func TestNCCLFasterThanHostStaged(t *testing.T) {
+	const n = 1 << 18
+	fill := func(rank, i int) float64 { return float64(rank + i) }
+	_, ncclTime := runNCCLAllreduce(t, cluster.OneNodeGH200(), n, fill)
+
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	var mpiTime sim.Duration
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		buf := r.Dev.Alloc(n)
+		r.Barrier(p)
+		t0 := p.Now()
+		r.Allreduce(p, buf, mpi.OpSum)
+		r.Barrier(p)
+		if r.ID == 0 {
+			mpiTime = sim.Duration(p.Now() - t0)
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if float64(mpiTime)/float64(ncclTime) < 10 {
+		t.Fatalf("NCCL (%v) should dominate host-staged allreduce (%v)", ncclTime, mpiTime)
+	}
+}
+
+// Property: NCCL allreduce equals the sequential sum for random sizes on
+// both topologies.
+func TestNCCLAllreduceProperty(t *testing.T) {
+	f := func(nn uint8, twoNodes bool) bool {
+		n := int(nn)%100 + 8
+		topo := cluster.OneNodeGH200()
+		if twoNodes {
+			topo = cluster.TwoNodeGH200()
+		}
+		fill := func(rank, i int) float64 { return float64((rank*31 + i) % 13) }
+		w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+		comm := NewComm(w)
+		P := w.Size()
+		results := make([][]float64, P)
+		w.Spawn(func(r *mpi.Rank) {
+			p := r.Proc()
+			buf := r.Dev.Alloc(n)
+			for i := range buf {
+				buf[i] = fill(r.ID, i)
+			}
+			comm.AllReduce(r, r.Stream, buf)
+			r.Stream.Synchronize(p)
+			results[r.ID] = append([]float64(nil), buf...)
+		})
+		if err := w.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := 0.0
+			for rk := 0; rk < P; rk++ {
+				want += fill(rk, i)
+			}
+			for rk := 0; rk < P; rk++ {
+				if math.Abs(results[rk][i]-want) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualViews(t *testing.T) {
+	buf := make([]float64, 10)
+	v := equalViews(buf, 4)
+	if len(v) != 4 || len(v[0]) != 3 || len(v[1]) != 3 || len(v[2]) != 2 || len(v[3]) != 2 {
+		t.Fatalf("views: %d %d %d %d", len(v[0]), len(v[1]), len(v[2]), len(v[3]))
+	}
+	v[2][0] = 9
+	if buf[6] != 9 {
+		t.Fatal("views must alias buffer")
+	}
+}

@@ -1,0 +1,148 @@
+// Package predict provides closed-form analytic performance predictions
+// for the communication models the simulator executes. The paper's lineage
+// includes exactly such models (its references [36], [37] model the
+// potential benefit of partitioned/early-bird transmission, and [10] uses
+// one to drive dynamic aggregation); here they serve two purposes:
+//
+//   - validation: the tests check that the discrete-event simulation and
+//     the closed forms agree within tolerance, catching regressions in
+//     either;
+//   - planning: core.ChooseTransportPartitions uses the same style of
+//     model to pick aggregation online.
+//
+// All predictions take the calibrated cluster.Model, so sensitivity
+// analyses (cmd/sweep) apply equally to both.
+package predict
+
+import (
+	"mpipart/internal/cluster"
+	"mpipart/internal/core"
+	"mpipart/internal/sim"
+)
+
+// Link is the alpha-beta abstraction of one directed route.
+type Link struct {
+	Latency     sim.Duration
+	BytesPerSec float64
+	// PerOp is the per-message wire overhead.
+	PerOp sim.Duration
+}
+
+// NVLink returns the intra-node GPU↔GPU link of the model.
+func NVLink(m *cluster.Model) Link {
+	return Link{Latency: m.NVLinkLatency, BytesPerSec: m.NVLinkBytesPerSec}
+}
+
+// IB returns the inter-node link of the model.
+func IB(m *cluster.Model) Link {
+	return Link{Latency: m.IBLatency, BytesPerSec: m.IBBytesPerSec}
+}
+
+// Wire returns the serialization time of n bytes on the link.
+func (l Link) Wire(n int64) sim.Duration {
+	if l.BytesPerSec <= 0 {
+		return l.PerOp
+	}
+	return l.PerOp + sim.Duration(float64(n)/l.BytesPerSec*1e9)
+}
+
+// KernelTime predicts launch-to-completion of a vector-add-shaped kernel.
+func KernelTime(m *cluster.Model, grid, block int) sim.Duration {
+	return m.KernelLaunchCost + m.KernelExecTime(grid, block, m.VecAddWaveTime)
+}
+
+// TraditionalP2P predicts the Listing-1 model: kernel, stream synchronize,
+// and the send path. Small messages complete locally under the eager
+// protocol (plus inter-node staging); large messages rendezvous and pay
+// the full wire time.
+func TraditionalP2P(m *cluster.Model, grid, block int, bytes int64, link Link, interNode bool) sim.Duration {
+	t := KernelTime(m, grid, block) + m.StreamSyncCost + m.HostSendOverhead
+	if bytes <= m.EagerThresholdBytes {
+		if interNode {
+			t += m.GPUEagerStagingCost
+		}
+		return t
+	}
+	// Rendezvous: CTS hop + serialization (the sender completes at
+	// delivery; propagation of the last byte is the link latency).
+	t += m.HostLoopbackLatency + link.Wire(bytes) + link.Latency
+	return t
+}
+
+// PartitionedPE predicts the progression-engine epoch (kernel launch →
+// sender MPI_Wait) — a thin wrapper over the shared pipeline model used by
+// the aggregation chooser.
+func PartitionedPE(m *cluster.Model, grid, block int, bytes int64, link Link, parts int) sim.Duration {
+	return core.EstimateEpochTime(m, grid, block, bytes, link.Latency, link.BytesPerSec, parts)
+}
+
+// PartitionedKC predicts the Kernel Copy epoch: the data rides NVLink
+// directly from device code (enqueued at each wave's end), the host path
+// only carries the completion signal.
+func PartitionedKC(m *cluster.Model, grid, block int, bytes int64, link Link) sim.Duration {
+	kernel := KernelTime(m, grid, block)
+	// Wire time starts draining as waves complete; the final block's copy
+	// is enqueued at kernel end, after which the remaining backlog (total
+	// wire minus what drained during the kernel) serializes.
+	wire := link.Wire(bytes)
+	exec := kernel - m.KernelLaunchCost
+	backlog := wire - exec
+	if backlog < 0 {
+		backlog = 0
+	}
+	// Completion: flag store to host, engine detection, signal put issued
+	// behind the data on the same FIFO route.
+	completion := m.HostFlagWriteGap + m.HostFlagWriteLatency + m.ProgressPollInterval +
+		m.PutIssueCost + m.ProgressItemCost
+	return kernel + backlog + completion
+}
+
+// NCCLRing predicts the fused ring allreduce on P devices: one launch,
+// 2(P-1) steps each moving bytes/P with a device-side reduction for the
+// first half.
+func NCCLRing(m *cluster.Model, P int, bytes int64, link Link, fusedReduceBps float64) sim.Duration {
+	if P < 2 {
+		return m.KernelLaunchCost
+	}
+	chunk := bytes / int64(P)
+	steps := 2 * (P - 1)
+	t := m.KernelLaunchCost
+	for s := 0; s < steps; s++ {
+		t += link.Wire(chunk) + link.Latency
+		if s < P-1 {
+			t += sim.Duration(float64(chunk) / fusedReduceBps * 1e9)
+		}
+	}
+	return t
+}
+
+// HostStagedAllreduce predicts the traditional MPI_Allreduce baseline on a
+// device buffer: D2H staging, linear receive+reduce of P-1 full buffers at
+// the root, linear bcast, H2D staging. The prediction is for the root rank
+// (the slowest).
+func HostStagedAllreduce(m *cluster.Model, P int, bytes int64, shm Link) sim.Duration {
+	if P < 2 {
+		return 0
+	}
+	stage := sim.Duration(float64(bytes)/m.C2CBytesPerSec*1e9) + m.C2CLatency + m.H2DCopyBase
+	recvReduce := sim.Duration(P-1) * (shm.Wire(bytes) + shm.Latency +
+		sim.Duration(float64(bytes)/m.CPUReduceBytesPerSec*1e9))
+	bcast := sim.Duration(P-1) * shm.Wire(bytes)
+	return 2*stage + recvReduce + bcast
+}
+
+// Shm returns the intra-node host staging link.
+func Shm(m *cluster.Model) Link {
+	return Link{Latency: m.HostLoopbackLatency, BytesPerSec: m.ShmBytesPerSec}
+}
+
+// RelErr returns |a-b| / max(a,b) for tolerance checks.
+func RelErr(a, b sim.Duration) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if a == 0 {
+		return 0
+	}
+	return float64(a-b) / float64(a)
+}

@@ -1,0 +1,168 @@
+package predict
+
+import (
+	"testing"
+
+	"mpipart/internal/bench"
+	"mpipart/internal/cluster"
+	"mpipart/internal/core"
+	"mpipart/internal/nccl"
+	"mpipart/internal/sim"
+)
+
+// The cross-validation contract: closed-form prediction and discrete-event
+// simulation agree within tol for the same model.
+const tol = 0.25
+
+func TestLinkWire(t *testing.T) {
+	l := Link{Latency: 100, BytesPerSec: 1e9, PerOp: 50}
+	if l.Wire(1000) != 1050 { // 1µs serialize + 50 per-op
+		t.Fatalf("wire = %v", l.Wire(1000))
+	}
+	z := Link{PerOp: 7}
+	if z.Wire(123456) != 7 {
+		t.Fatal("zero-bandwidth link should cost PerOp only")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(100, 100) != 0 {
+		t.Fatal("equal values")
+	}
+	if e := RelErr(100, 50); e != 0.5 {
+		t.Fatalf("RelErr = %v", e)
+	}
+	if RelErr(0, 0) != 0 {
+		t.Fatal("zero values")
+	}
+	if RelErr(50, 100) != RelErr(100, 50) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestKernelTimeMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, grid := range []int{1, 256, 2048} {
+		pred := KernelTime(&m, grid, 1024)
+		want := m.KernelLaunchCost + sim.Duration(m.Waves(grid, 1024))*m.VecAddWaveTime
+		if pred != want {
+			t.Fatalf("grid %d: %v vs %v", grid, pred, want)
+		}
+	}
+}
+
+func TestTraditionalP2PMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, tc := range []struct {
+		grid  int
+		inter bool
+	}{
+		{1, false}, {64, false}, {512, false},
+		{1, true}, {64, true}, {512, true},
+	} {
+		cfg := bench.P2PConfig{Topo: cluster.OneNodeGH200(), Receiver: 1, Grid: tc.grid, Parts: 1}
+		link := NVLink(&m)
+		if tc.inter {
+			cfg.Topo = cluster.TwoNodeGH200()
+			cfg.Receiver = 4
+			link = IB(&m)
+		}
+		sim := bench.MeasureTraditional(cfg)
+		pred := TraditionalP2P(&m, tc.grid, 1024, int64(tc.grid)*8192, link, tc.inter)
+		if e := RelErr(sim, pred); e > tol {
+			t.Fatalf("grid %d inter=%v: sim %v vs pred %v (err %.2f)", tc.grid, tc.inter, sim, pred, e)
+		}
+	}
+}
+
+func TestPartitionedPEMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, tc := range []struct {
+		grid, parts int
+		inter       bool
+	}{
+		{8, 1, false}, {256, 1, false}, {1024, 1, false},
+		{8, 1, true}, {256, 2, true}, {1024, 2, true},
+	} {
+		cfg := bench.P2PConfig{Topo: cluster.OneNodeGH200(), Receiver: 1, Grid: tc.grid, Parts: tc.parts}
+		link := NVLink(&m)
+		if tc.inter {
+			cfg.Topo = cluster.TwoNodeGH200()
+			cfg.Receiver = 4
+			link = IB(&m)
+		}
+		simT := bench.MeasurePartitioned(cfg, core.ProgressionEngine)
+		pred := PartitionedPE(&m, tc.grid, 1024, int64(tc.grid)*8192, link, tc.parts)
+		if e := RelErr(simT, pred); e > tol {
+			t.Fatalf("grid %d parts %d inter=%v: sim %v vs pred %v (err %.2f)",
+				tc.grid, tc.parts, tc.inter, simT, pred, e)
+		}
+	}
+}
+
+func TestPartitionedKCMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, grid := range []int{8, 256, 1024} {
+		cfg := bench.P2PConfig{Topo: cluster.OneNodeGH200(), Receiver: 1, Grid: grid, Parts: 1}
+		simT := bench.MeasurePartitioned(cfg, core.KernelCopy)
+		pred := PartitionedKC(&m, grid, 1024, int64(grid)*8192, NVLink(&m))
+		if e := RelErr(simT, pred); e > tol {
+			t.Fatalf("grid %d: sim %v vs pred %v (err %.2f)", grid, simT, pred, e)
+		}
+	}
+}
+
+func TestNCCLRingMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, grid := range []int{256, 1024} {
+		cfg := bench.AllreduceConfig{Topo: cluster.OneNodeGH200(), Grid: grid, UserParts: 4}
+		simT := bench.MeasureNCCLAllreduce(cfg)
+		// Subtract the compute kernel and the final synchronize the
+		// measurement includes.
+		commSim := simT - KernelTime(&m, grid, 1024) - m.StreamSyncCost
+		pred := NCCLRing(&m, 4, int64(grid)*8192, NVLink(&m), nccl.FusedReduceBytesPerSec)
+		if e := RelErr(commSim, pred); e > tol {
+			t.Fatalf("grid %d: sim %v vs pred %v (err %.2f)", grid, commSim, pred, e)
+		}
+	}
+}
+
+func TestHostStagedAllreduceMatchesSimulation(t *testing.T) {
+	m := cluster.DefaultModel()
+	for _, grid := range []int{128, 512} {
+		cfg := bench.AllreduceConfig{Topo: cluster.OneNodeGH200(), Grid: grid, UserParts: 4}
+		simT := bench.MeasureMPIAllreduce(cfg)
+		commSim := simT - KernelTime(&m, grid, 1024) - m.StreamSyncCost
+		pred := HostStagedAllreduce(&m, 4, int64(grid)*8192, Shm(&m))
+		if e := RelErr(commSim, pred); e > tol {
+			t.Fatalf("grid %d: sim %v vs pred %v (err %.2f)", grid, commSim, pred, e)
+		}
+	}
+}
+
+// The predictions must reproduce the paper's qualitative claims directly.
+func TestPredictionsReproduceOrderings(t *testing.T) {
+	m := cluster.DefaultModel()
+	bytes := int64(64) * 8192
+	tr := TraditionalP2P(&m, 64, 1024, bytes, NVLink(&m), false)
+	pe := PartitionedPE(&m, 64, 1024, bytes, NVLink(&m), 1)
+	kc := PartitionedKC(&m, 64, 1024, bytes, NVLink(&m))
+	if !(kc < pe && pe < tr) {
+		t.Fatalf("analytic ordering violated: kc=%v pe=%v tr=%v", kc, pe, tr)
+	}
+	nc := NCCLRing(&m, 4, bytes, NVLink(&m), nccl.FusedReduceBytesPerSec)
+	hs := HostStagedAllreduce(&m, 4, bytes, Shm(&m))
+	if !(nc < hs) {
+		t.Fatalf("NCCL (%v) must beat host-staged allreduce (%v)", nc, hs)
+	}
+}
+
+func TestSingleRankDegenerateCases(t *testing.T) {
+	m := cluster.DefaultModel()
+	if NCCLRing(&m, 1, 1<<20, NVLink(&m), nccl.FusedReduceBytesPerSec) != m.KernelLaunchCost {
+		t.Fatal("P=1 NCCL should be launch only")
+	}
+	if HostStagedAllreduce(&m, 1, 1<<20, Shm(&m)) != 0 {
+		t.Fatal("P=1 allreduce should be free")
+	}
+}

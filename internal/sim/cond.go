@@ -1,0 +1,176 @@
+package sim
+
+import "fmt"
+
+// Cond is a virtual-time condition variable. Procs park on it with Wait and
+// are released (at the current virtual time, in FIFO order) by Signal or
+// Broadcast. Unlike sync.Cond there is no associated lock: the simulation is
+// single-threaded in virtual time, so state inspected before Wait cannot be
+// mutated concurrently — only by other procs after control is yielded, which
+// is exactly the standard "re-check the predicate in a loop" contract.
+type Cond struct {
+	k       *Kernel
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable attached to k. The name appears in
+// deadlock diagnostics.
+func NewCond(k *Kernel, name string) *Cond {
+	return &Cond{k: k, name: name}
+}
+
+// Wait parks p until another proc (or event callback) calls Signal or
+// Broadcast. As with any condition variable, callers must re-check their
+// predicate after waking.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.block(stateBlocked, "cond:"+c.name)
+}
+
+// WaitFor blocks p until pred() is true, re-checking every time the Cond is
+// signalled. It is the workhorse for flag polling throughout the MPI runtime.
+func (c *Cond) WaitFor(p *Proc, pred func() bool) {
+	for !pred() {
+		c.Wait(p)
+	}
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	c.k.ready(p)
+}
+
+// Broadcast wakes every waiting proc in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.k.ready(p)
+	}
+}
+
+// Waiters reports how many procs are parked on the Cond.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// Gate is a one-shot latch: procs Wait until Open is called, after which all
+// current and future waiters pass immediately. It models "ready to receive"
+// style signals.
+type Gate struct {
+	cond *Cond
+	open bool
+}
+
+// NewGate creates a closed Gate.
+func NewGate(k *Kernel, name string) *Gate {
+	return &Gate{cond: NewCond(k, "gate:"+name)}
+}
+
+// Open releases all waiters; subsequent Wait calls return immediately.
+func (g *Gate) Open() {
+	if g.open {
+		return
+	}
+	g.open = true
+	g.cond.Broadcast()
+}
+
+// IsOpen reports whether the gate has been opened.
+func (g *Gate) IsOpen() bool { return g.open }
+
+// Wait parks p until the Gate is open.
+func (g *Gate) Wait(p *Proc) {
+	for !g.open {
+		g.cond.Wait(p)
+	}
+}
+
+// Counter is a broadcast-on-change integer used for completion counting
+// (e.g. "wait until N partitions have arrived").
+type Counter struct {
+	cond *Cond
+	n    int
+}
+
+// NewCounter creates a zero Counter.
+func NewCounter(k *Kernel, name string) *Counter {
+	return &Counter{cond: NewCond(k, "counter:"+name)}
+}
+
+// Add increments the counter by delta and wakes waiters.
+func (c *Counter) Add(delta int) {
+	c.n += delta
+	c.cond.Broadcast()
+}
+
+// Set overwrites the counter value and wakes waiters.
+func (c *Counter) Set(v int) {
+	c.n = v
+	c.cond.Broadcast()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int { return c.n }
+
+// WaitAtLeast parks p until the counter reaches at least target.
+func (c *Counter) WaitAtLeast(p *Proc, target int) {
+	for c.n < target {
+		c.cond.Wait(p)
+	}
+}
+
+// Queue is an unbounded FIFO in virtual time. Pop blocks until an item is
+// available. It models stream FIFOs and message queues.
+type Queue struct {
+	cond  *Cond
+	items []interface{}
+	name  string
+}
+
+// NewQueue creates an empty Queue.
+func NewQueue(k *Kernel, name string) *Queue {
+	return &Queue{cond: NewCond(k, "queue:"+name), name: name}
+}
+
+// Push appends an item and wakes one waiter.
+func (q *Queue) Push(v interface{}) {
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Pop removes and returns the oldest item, blocking p until one exists.
+func (q *Queue) Pop(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.cond.Wait(p)
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return v
+}
+
+// TryPop removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryPop() (v interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// String implements fmt.Stringer for diagnostics.
+func (q *Queue) String() string { return fmt.Sprintf("queue:%s(len=%d)", q.name, len(q.items)) }

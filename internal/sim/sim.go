@@ -1,0 +1,376 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel. It is the substrate on which the whole GH200 testbed
+// reproduction runs: every simulated actor (MPI rank host thread, MPI
+// progression engine, GPU stream, NIC pipe) is a Proc — a goroutine that is
+// scheduled cooperatively, exactly one at a time, under a virtual nanosecond
+// clock.
+//
+// The design follows the classic SimPy "process interaction" model:
+//
+//   - A Proc runs real Go code. When it needs virtual time to pass it calls
+//     Wait/WaitUntil; when it needs to block on a condition it calls
+//     Cond.Wait. Control then returns to the scheduler, which advances the
+//     clock to the next event.
+//   - Events (Kernel.At / Kernel.After) run callbacks at absolute virtual
+//     times without a dedicated Proc; they are used for transfer completions
+//     and other fire-and-forget completions.
+//
+// Because only one Proc executes at any instant and all wake-ups are ordered
+// by (time, sequence number), a simulation is fully deterministic: the same
+// program produces the same virtual-time trace on every run. That property is
+// what makes every figure in the paper reproduction bit-for-bit repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Time is an absolute virtual time in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenience duration constructors, mirroring time.Duration granularities.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+// Microseconds converts a float microsecond count to a Duration.
+func Microseconds(us float64) Duration { return Duration(us * 1000) }
+
+// Nanoseconds converts a float nanosecond count to a Duration.
+func Nanoseconds(ns float64) Duration { return Duration(ns) }
+
+// Micros reports the Time as fractional microseconds (for reporting).
+func (t Time) Micros() float64 { return float64(t) / 1000 }
+
+// Seconds reports the Time as fractional seconds (for reporting).
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros reports the Duration as fractional microseconds (for reporting).
+func (d Duration) Micros() float64 { return float64(d) / 1000 }
+
+// Seconds reports the Duration as fractional seconds (for reporting).
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+func (t Time) String() string     { return fmt.Sprintf("%.3fus", t.Micros()) }
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Micros()) }
+
+// procState tracks where a Proc is in its lifecycle; it exists mostly so
+// deadlocks can be reported with useful diagnostics.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateReady
+	stateRunning
+	stateBlocked // waiting on a Cond
+	stateTimed   // waiting for a timer wake-up
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateTimed:
+		return "timed-wait"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated process. All methods must be called from the goroutine
+// running the Proc body (they yield control to the scheduler).
+type Proc struct {
+	k       *Kernel
+	name    string
+	id      int
+	wake    chan struct{}
+	state   procState
+	blockOn string // diagnostic: what the proc is blocked on
+	daemon  bool   // daemons may remain blocked at simulation end
+}
+
+// Name returns the diagnostic name given to Go/Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the simulation kernel this Proc belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type yieldMsg struct {
+	p     *Proc
+	ended bool
+}
+
+// Kernel is the simulation scheduler: a virtual clock, a timed event queue,
+// and a run queue of ready processes.
+type Kernel struct {
+	now      Time
+	events   eventHeap
+	runq     []*Proc
+	yieldCh  chan yieldMsg
+	seq      uint64
+	nextID   int
+	live     []*Proc // all non-done procs, for deadlock diagnostics
+	running  bool
+	rng      *rand.Rand
+	stopped  bool
+	panicked error
+	tracer   *Tracer
+}
+
+// NewKernel creates an empty simulation with the clock at zero. The seed
+// feeds the deterministic RNG exposed via Rand.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		yieldCh: make(chan yieldMsg),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// nextSeq returns a monotonically increasing tiebreaker for event ordering.
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	heap.Push(&k.events, &event{at: t, seq: k.nextSeq(), fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+Time(d), fn) }
+
+// Go creates a new Proc running body. The Proc becomes runnable at the
+// current virtual time. Go may be called before Run or from inside a running
+// Proc (to spawn helpers such as GPU streams).
+func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{
+		k:     k,
+		name:  name,
+		id:    k.nextID,
+		wake:  make(chan struct{}),
+		state: stateNew,
+	}
+	k.live = append(k.live, p)
+	go func() {
+		<-p.wake // first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if k.panicked == nil {
+					k.panicked = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+				}
+			}
+			p.state = stateDone
+			k.yieldCh <- yieldMsg{p: p, ended: true}
+		}()
+		body(p)
+	}()
+	k.ready(p)
+	return p
+}
+
+// GoDaemon creates a Proc like Go, but marks it as a daemon: a service
+// process (GPU stream executor, progression engine) that legitimately blocks
+// forever once its work is done. Daemons left blocked at the end of a
+// simulation do not count as a deadlock.
+func (k *Kernel) GoDaemon(name string, body func(p *Proc)) *Proc {
+	p := k.Go(name, body)
+	p.daemon = true
+	return p
+}
+
+// ready appends p to the run queue.
+func (k *Kernel) ready(p *Proc) {
+	if p.state == stateDone {
+		panic("sim: readying a finished proc " + p.name)
+	}
+	p.state = stateReady
+	p.blockOn = ""
+	k.runq = append(k.runq, p)
+}
+
+// resume hands control to p and waits until it yields back (by blocking or
+// finishing).
+func (k *Kernel) resume(p *Proc) {
+	p.state = stateRunning
+	p.wake <- struct{}{}
+	msg := <-k.yieldCh
+	if msg.p != p {
+		panic("sim: yield from unexpected proc " + msg.p.name)
+	}
+	if msg.ended {
+		k.reap(p)
+	}
+}
+
+func (k *Kernel) reap(p *Proc) {
+	for i, q := range k.live {
+		if q == p {
+			k.live = append(k.live[:i], k.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// block is called from inside a Proc: it returns control to the scheduler
+// and parks until the proc is next made ready.
+func (p *Proc) block(state procState, on string) {
+	p.state = state
+	p.blockOn = on
+	p.k.yieldCh <- yieldMsg{p: p}
+	<-p.wake
+}
+
+// Wait advances the Proc's virtual time by d. Negative durations are treated
+// as zero (yield to same-time peers).
+func (p *Proc) Wait(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.WaitUntil(p.k.now + Time(d))
+}
+
+// WaitUntil parks the Proc until absolute virtual time t.
+func (p *Proc) WaitUntil(t Time) {
+	k := p.k
+	if t < k.now {
+		t = k.now
+	}
+	k.At(t, func() { k.ready(p) })
+	p.block(stateTimed, fmt.Sprintf("timer@%v", t))
+}
+
+// Yield reschedules the Proc at the current time behind already-ready peers.
+func (p *Proc) Yield() {
+	p.k.ready(p)
+	p.block(stateReady, "yield")
+}
+
+// Run executes the simulation until no process is runnable and no events are
+// pending. It returns an error if live processes remain blocked with nothing
+// to wake them (a simulated deadlock), with a description of every blocked
+// process.
+func (k *Kernel) Run() error {
+	if k.running {
+		return fmt.Errorf("sim: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for !k.stopped && k.panicked == nil {
+		if len(k.runq) > 0 {
+			p := k.runq[0]
+			copy(k.runq, k.runq[1:])
+			k.runq = k.runq[:len(k.runq)-1]
+			k.resume(p)
+			continue
+		}
+		if k.events.Len() > 0 {
+			e := heap.Pop(&k.events).(*event)
+			if e.at > k.now {
+				k.now = e.at
+			}
+			e.fn()
+			continue
+		}
+		break
+	}
+	if k.panicked != nil {
+		return k.panicked
+	}
+	if k.stopped {
+		// A stopped kernel abandons blocked procs by design; they are
+		// never resumed. Nothing further to do.
+		return nil
+	}
+	for _, p := range k.live {
+		if !p.daemon {
+			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
+		}
+	}
+	return nil
+}
+
+// Stop terminates the simulation at the end of the current dispatch. Blocked
+// procs are abandoned. Intended for benchmarks that only need a prefix of
+// the simulated execution.
+func (k *Kernel) Stop() { k.stopped = true }
+
+func (k *Kernel) describeBlocked() string {
+	ps := append([]*Proc(nil), k.live...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
+	var b strings.Builder
+	n := 0
+	for _, p := range ps {
+		if p.daemon {
+			continue
+		}
+		if n > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s[%s on %s]", p.name, p.state, p.blockOn)
+		n++
+	}
+	return b.String()
+}
+
+// LiveProcs returns the number of processes that have not finished.
+func (k *Kernel) LiveProcs() int { return len(k.live) }
