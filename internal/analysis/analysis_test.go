@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the module root from this source file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// fixture is one pinned analyzer behaviour: sources that must produce
+// exactly the expected rule hits (substring-matched messages), and a
+// suppressed twin that must stay silent.
+type fixture struct {
+	name     string
+	analyzer string
+	pkgPath  string // declared import path (drives Match)
+	src      string // single-file package body
+	want     []string // expected message substrings, in position order
+}
+
+func runFixture(t *testing.T, l *Loader, fx fixture) []Diagnostic {
+	t.Helper()
+	a := AnalyzerByName(fx.analyzer)
+	if a == nil {
+		t.Fatalf("unknown analyzer %q", fx.analyzer)
+	}
+	pkg, err := l.LoadSource(fx.pkgPath, map[string]string{fx.name + ".go": fx.src})
+	if err != nil {
+		t.Fatalf("%s: load: %v", fx.name, err)
+	}
+	return Run([]*Analyzer{a}, []*Package{pkg})
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	fixtures := []fixture{
+		{
+			name:     "simclock_bad",
+			analyzer: "simclock",
+			pkgPath:  "mpipart/internal/core",
+			src: `package core
+import "time"
+func f() {
+	time.Sleep(time.Millisecond)
+	_ = time.Now()
+	_ = time.Since(time.Time{})
+	t := time.NewTicker(time.Second)
+	_ = t
+}
+`,
+			want: []string{
+				"wall-clock use time.Sleep",
+				"wall-clock use time.Now",
+				"wall-clock use time.Since",
+				"wall-clock use time.NewTicker",
+			},
+		},
+		{
+			name:     "simclock_outside_sim_packages_ok",
+			analyzer: "simclock",
+			pkgPath:  "mpipart/cmd/figures", // host-side tooling may use the wall clock
+			src: `package main
+import "time"
+func f() { time.Sleep(time.Millisecond) }
+`,
+		},
+		{
+			name:     "kernelpurity_bad",
+			analyzer: "kernelpurity",
+			pkgPath:  "mpipart/internal/bench",
+			src: `package bench
+import (
+	"fmt"
+	"sync"
+	"mpipart/internal/gpu"
+)
+var mu sync.Mutex
+func f(ch chan int) {
+	body := func(b *gpu.BlockCtx) {
+		go func() {}()
+		ch <- 1
+		<-ch
+		mu.Lock()
+		fmt.Println("hi")
+		fmt.Printf("x")
+	}
+	_ = body
+}
+`,
+			want: []string{
+				"go statement in kernel body",
+				"channel send in kernel body",
+				"channel receive in kernel body",
+				"sync primitive mu.Lock()",
+				"I/O call fmt.Println",
+				"I/O call fmt.Printf",
+			},
+		},
+		{
+			name:     "kernelpurity_pure_ok",
+			analyzer: "kernelpurity",
+			pkgPath:  "mpipart/internal/bench",
+			src: `package bench
+import (
+	"fmt"
+	"mpipart/internal/gpu"
+)
+func f() {
+	body := func(b *gpu.BlockCtx) {
+		b.SyncThreads()
+		if b.Idx < 0 {
+			panic(fmt.Sprintf("bad block %d", b.Idx))
+		}
+	}
+	_ = body
+}
+`,
+		},
+		{
+			name:     "partitionedorder_bad",
+			analyzer: "partitionedorder",
+			pkgPath:  "mpipart/examples/fixture",
+			src: `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func f(p *sim.Proc, r *mpi.Rank, buf []float64) {
+	sreq := core.PsendInit(p, r, 1, 7, buf, 4)
+	sreq.Pready(p, 0)
+	sreq.Start(p)
+	sreq.Start(p)
+	sreq.PbufPrepare(p)
+	sreq.Pready(p, 9)
+	sreq.Pready(p, 1)
+	sreq.Pready(p, 1)
+	sreq.Wait(p)
+	sreq.Free()
+	sreq.Start(p)
+}
+`,
+			want: []string{
+				"Pready before Start",
+				"Start on already-started request",
+				"partition 9 out of range",
+				"duplicate Pready of partition 1",
+				"use after Free",
+			},
+		},
+		{
+			name:     "partitionedorder_bufread_bad",
+			analyzer: "partitionedorder",
+			pkgPath:  "mpipart/examples/fixture",
+			src: `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func consume(x []float64) {}
+func f(p *sim.Proc, r *mpi.Rank, buf []float64) {
+	rreq := core.PrecvInit(p, r, 0, 7, buf, 4)
+	rreq.Start(p)
+	rreq.PbufPrepare(p)
+	consume(buf)
+	rreq.Wait(p)
+	rreq.Free()
+}
+`,
+			want: []string{"read of receive buffer buf"},
+		},
+		{
+			name:     "partitionedorder_wellformed_ok",
+			analyzer: "partitionedorder",
+			pkgPath:  "mpipart/examples/fixture",
+			src: `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func consume(x []float64) {}
+func f(p *sim.Proc, r *mpi.Rank, buf []float64) {
+	rreq := core.PrecvInit(p, r, 0, 7, buf, 4)
+	for i := 0; i < 3; i++ {
+		rreq.Start(p)
+		rreq.PbufPrepare(p)
+		rreq.Wait(p)
+		consume(buf)
+	}
+	rreq.Free()
+}
+`,
+		},
+		{
+			name:     "lockedawait_bad",
+			analyzer: "lockedawait",
+			pkgPath:  "mpipart/internal/fabric",
+			src: `package fabric
+import (
+	"sync"
+	"mpipart/internal/sim"
+)
+var mu sync.Mutex
+func f(p *sim.Proc, c *sim.Cond) {
+	mu.Lock()
+	defer mu.Unlock()
+	c.Wait(p)
+}
+func g(p *sim.Proc) {
+	mu.Lock()
+	p.Wait(10)
+	mu.Unlock()
+}
+func ok(p *sim.Proc) {
+	mu.Lock()
+	mu.Unlock()
+	p.Wait(10)
+}
+`,
+			want: []string{
+				`virtual-time wait Wait(...) while holding mutex "mu"`,
+				`virtual-time wait Wait(...) while holding mutex "mu"`,
+			},
+		},
+		{
+			name:     "errcheck_bad",
+			analyzer: "errcheck-lite",
+			pkgPath:  "mpipart/internal/fixture",
+			src: `package fixture
+import "strings"
+func fail() error { return nil }
+func pair() (int, error) { return 0, nil }
+func f() {
+	fail()
+	pair()
+	_ = fail() // explicit discard is the sanctioned form
+	var b strings.Builder
+	b.WriteString("ok") // never-fail writer is exempt
+}
+`,
+			want: []string{
+				"result of fail(...) is ignored",
+				"result of pair(...) is ignored",
+			},
+		},
+		{
+			name:     "exhaustive_bad",
+			analyzer: "exhaustive-mech",
+			pkgPath:  "mpipart/internal/fixture",
+			src: `package fixture
+type Mech int
+const (
+	EngineMech Mech = iota
+	CopyMech
+	DmaMech
+)
+func f(m Mech) int {
+	switch m {
+	case EngineMech:
+		return 1
+	case CopyMech:
+		return 2
+	}
+	return 0
+}
+func ok(m Mech) int {
+	switch m {
+	case EngineMech:
+		return 1
+	default:
+		return 0
+	}
+}
+`,
+			want: []string{"switch over Mech misses constants DmaMech"},
+		},
+	}
+
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			diags := runFixture(t, l, fx)
+			if len(diags) != len(fx.want) {
+				t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(fx.want), renderDiags(diags))
+			}
+			for i, want := range fx.want {
+				if !strings.Contains(diags[i].Message, want) {
+					t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+				}
+				if diags[i].Rule != fx.analyzer {
+					t.Errorf("finding %d rule = %q, want %q", i, diags[i].Rule, fx.analyzer)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppression pins the //lint:ignore mpivet/<rule> behaviour: a
+// well-formed directive on the offending line or the line above silences the
+// finding; a directive without a reason is itself reported.
+func TestSuppression(t *testing.T) {
+	l := newTestLoader(t)
+
+	suppressed := fixture{
+		name:     "simclock_suppressed",
+		analyzer: "simclock",
+		pkgPath:  "mpipart/internal/core",
+		src: `package core
+import "time"
+func f() {
+	//lint:ignore mpivet/simclock host-side timing verified by hand
+	time.Sleep(time.Millisecond)
+	time.Sleep(time.Millisecond) //lint:ignore mpivet/simclock same-line directive
+}
+`,
+	}
+	if diags := runFixture(t, l, suppressed); len(diags) != 0 {
+		t.Fatalf("suppressed fixture still reports:\n%s", renderDiags(diags))
+	}
+
+	missingReason := fixture{
+		name:     "simclock_badsuppression",
+		analyzer: "simclock",
+		pkgPath:  "mpipart/internal/core",
+		src: `package core
+import "time"
+func f() {
+	//lint:ignore mpivet/simclock
+	time.Sleep(time.Millisecond)
+}
+`,
+	}
+	diags := runFixture(t, l, missingReason)
+	if len(diags) != 2 {
+		t.Fatalf("want malformed-directive + original finding, got:\n%s", renderDiags(diags))
+	}
+	foundDirective := false
+	for _, d := range diags {
+		if d.Rule == "lint-directive" && strings.Contains(d.Message, "needs a reason") {
+			foundDirective = true
+		}
+	}
+	if !foundDirective {
+		t.Errorf("missing lint-directive finding:\n%s", renderDiags(diags))
+	}
+
+	wrongRule := fixture{
+		name:     "simclock_wrongrule",
+		analyzer: "simclock",
+		pkgPath:  "mpipart/internal/core",
+		src: `package core
+import "time"
+func f() {
+	//lint:ignore mpivet/kernelpurity reason that names another rule
+	time.Sleep(time.Millisecond)
+}
+`,
+	}
+	diags = runFixture(t, l, wrongRule)
+	if len(diags) != 1 || diags[0].Rule != "simclock" {
+		t.Fatalf("directive for another rule must not suppress, got:\n%s", renderDiags(diags))
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	if b.Len() == 0 {
+		return "  (none)\n"
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// TestMpivetClean runs the full mpivet suite over the repository, exactly
+// like `go run ./cmd/mpivet ./...`. It is a tier-1 test: a new wall-clock
+// call, impure kernel body, partitioned-API misuse, ignored error or
+// non-exhaustive enum switch anywhere in the tree fails go test ./...
+// (Intentional exceptions carry a `//lint:ignore mpivet/<rule> reason`
+// directive at the offending line.)
+func TestMpivetClean(t *testing.T) {
+	l := newTestLoader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages from the module — loader regression?", len(pkgs))
+	}
+
+	// Guard against silent degradation to syntax-only analysis: the packages
+	// the type-driven rules (errcheck-lite, exhaustive-mech) most need must
+	// have type-checked.
+	for _, want := range []string{"mpipart/internal/core", "mpipart/internal/sim", "mpipart/internal/bench"} {
+		found := false
+		for _, pkg := range pkgs {
+			if pkg.Path != want {
+				continue
+			}
+			found = true
+			if pkg.Types == nil || len(pkg.Info.Uses) == 0 {
+				t.Errorf("%s: no type information (Uses=%d, errors=%v)", want, len(pkg.Info.Uses), firstN(pkg.TypeErrors, 3))
+			}
+		}
+		if !found {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+
+	diags := Run(Analyzers(), pkgs)
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+	if len(diags) > 0 {
+		t.Fatalf("mpivet reported %d findings; fix them or suppress with //lint:ignore mpivet/<rule> <reason>", len(diags))
+	}
+}
+
+func firstN(errs []error, n int) []error {
+	if len(errs) <= n {
+		return errs
+	}
+	return errs[:n]
+}

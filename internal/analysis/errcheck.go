@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrcheckAnalyzer flags expression statements that discard an error result
+// in internal/ non-test code. The runtime layers report protocol failures
+// through errors (Kernel.Run's deadlock report, rkey unpacking, topology
+// validation); dropping one on the floor silently converts a detected bug
+// into a wrong figure.
+//
+// Allowed without a check: the fmt print family and the never-failing
+// strings.Builder / bytes.Buffer writers. An intentional discard is written
+// `_ = f()` — the explicit blank assignment is the suppression.
+var ErrcheckAnalyzer = &Analyzer{
+	Name:      "errcheck-lite",
+	Doc:       "flag ignored error returns in internal/ non-test code",
+	SkipTests: true,
+	Match: func(pkgPath string) bool {
+		return strings.Contains(pkgPath, "/internal/")
+	},
+	Run: runErrcheck,
+}
+
+func runErrcheck(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil || pass.Pkg.Types == nil {
+		return // no type information: nothing reliable to say
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !callReturnsError(info, call) || calleeExempt(info, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s is ignored but carries an error: check it or assign to _ explicitly", calleeDesc(call))
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether the call's (possibly tuple) result ends
+// in an error.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	last := tv.Type
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		last = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(last)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// calleeExempt allows the conventional never-fail writers.
+func calleeExempt(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		// The only fmt functions returning errors are the print family,
+		// whose failures surface through the underlying writer.
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type().String()
+	return strings.Contains(recv, "strings.Builder") || strings.Contains(recv, "bytes.Buffer")
+}
+
+func calleeDesc(call *ast.CallExpr) string {
+	return exprText(call.Fun) + "(...)"
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustiveAnalyzer requires switches over the module's own integer enums
+// (core.Mechanism, sim's process states, ...) to either cover every declared
+// constant of the type or carry a default clause. A new Mechanism silently
+// falling through an old switch is exactly the class of bug this repo cannot
+// test its way out of — the switch still "works", it just models the wrong
+// protocol.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name:      "exhaustive-mech",
+	Doc:       "switches over module-defined enums must cover all constants or have a default",
+	SkipTests: true,
+	Run:       runExhaustive,
+}
+
+func runExhaustive(pass *Pass) {
+	info := pass.Pkg.Info
+	if info == nil {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, info, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(pass *Pass, info *types.Info, sw *ast.SwitchStmt) {
+	tv, ok := info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Only the module's own enums: flagging reflect.Kind or token.Token
+	// switches would be noise.
+	if !strings.HasPrefix(obj.Pkg().Path(), modulePathOf(pass.Pkg.Path)) {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return
+	}
+	consts := enumConstants(obj.Pkg(), named)
+	if len(consts) < 2 {
+		return // not enum-like
+	}
+	covered := map[string]bool{} // by constant exact value
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause present: exhaustiveness satisfied
+		}
+		for _, e := range cc.List {
+			etv, ok := info.Types[e]
+			if ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over %s misses constants %s: add the cases or a default clause",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// enumConstants returns the constants of type named declared in pkg, sorted
+// by name for deterministic messages.
+func enumConstants(pkg *types.Package, named *types.Named) []*types.Const {
+	var out []*types.Const
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if c.Val().Kind() != constant.Int {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// modulePathOf extracts the module prefix of an import path (the first path
+// element, which for this repo is the whole module path "mpipart").
+func modulePathOf(pkgPath string) string {
+	if i := strings.Index(pkgPath, "/"); i >= 0 {
+		return pkgPath[:i]
+	}
+	return pkgPath
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// KernelPurityAnalyzer checks kernel bodies — any function or closure taking
+// a *gpu.BlockCtx — for host-side constructs. A kernel body models real
+// device code: it may only use the BlockCtx/Prequest device APIs and pure
+// computation. Goroutines, channels, sync primitives, I/O and wall-clock
+// calls there either break determinism outright or charge no virtual time,
+// corrupting the figures the body contributes to.
+var KernelPurityAnalyzer = &Analyzer{
+	Name: "kernelpurity",
+	Doc:  "kernel bodies (*gpu.BlockCtx funcs) must stay pure device code: no go/chan/sync/io/time",
+	Run:  runKernelPurity,
+}
+
+// hostOnlyPackages are packages whose call from device code is always a
+// host-side escape.
+var hostOnlyPackages = map[string]bool{
+	"sync": true, "os": true, "io": true, "bufio": true,
+	"log": true, "time": true, "ioutil": true, "net": true,
+}
+
+// impureFmt are the fmt members that perform I/O; Sprintf/Errorf and friends
+// are pure and allowed (diagnostic strings inside panics).
+var impureFmt = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Scan": true, "Scanf": true, "Scanln": true,
+	"Fscan": true, "Fscanf": true, "Fscanln": true,
+}
+
+func runKernelPurity(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasBlockCtxParam(ft) {
+				return true
+			}
+			checkKernelBody(pass, body)
+			// Nested kernel closures inside this body are visited again by
+			// the outer Inspect; duplicate findings are deduplicated by the
+			// runner.
+			return true
+		})
+	}
+}
+
+// hasBlockCtxParam reports whether the signature takes a *gpu.BlockCtx (or
+// *BlockCtx, for code inside package gpu itself).
+func hasBlockCtxParam(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, fld := range ft.Params.List {
+		star, ok := fld.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		switch t := star.X.(type) {
+		case *ast.SelectorExpr:
+			if t.Sel.Name == "BlockCtx" {
+				return true
+			}
+		case *ast.Ident:
+			if t.Name == "BlockCtx" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkKernelBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(m.Pos(), "go statement in kernel body: device code cannot spawn goroutines")
+		case *ast.SendStmt:
+			pass.Reportf(m.Pos(), "channel send in kernel body: use BlockCtx device APIs (flags, atomics) instead")
+		case *ast.UnaryExpr:
+			if m.Op.String() == "<-" {
+				pass.Reportf(m.Pos(), "channel receive in kernel body: use BlockCtx device APIs (flags, atomics) instead")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(m.Pos(), "select statement in kernel body")
+		case *ast.ChanType:
+			pass.Reportf(m.Pos(), "channel type in kernel body")
+		case *ast.CallExpr:
+			sel, ok := m.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "Unlock", "RLock", "RUnlock", "TryLock":
+				pass.Reportf(m.Pos(), "sync primitive %s.%s() in kernel body", exprText(sel.X), sel.Sel.Name)
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Obj != nil {
+				return true
+			}
+			if hostOnlyPackages[id.Name] {
+				pass.Reportf(m.Pos(), "call of %s.%s in kernel body: host-side construct in device code", id.Name, sel.Sel.Name)
+			} else if id.Name == "fmt" && impureFmt[sel.Sel.Name] {
+				pass.Reportf(m.Pos(), "I/O call fmt.%s in kernel body", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}

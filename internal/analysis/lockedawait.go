@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// LockedAwaitAnalyzer flags holding a mutex across a virtual-time wait in
+// sim-driven packages. A real mutex held while the owning Proc parks on the
+// scheduler stalls every other Proc of the simulation (they run on the same
+// OS-level schedule), turning a virtual-time wait into a real deadlock —
+// the simulation's single-threaded discipline means code should not need
+// mutexes at all, and one held across Wait is always a bug.
+var LockedAwaitAnalyzer = &Analyzer{
+	Name:  "lockedawait",
+	Doc:   "forbid holding a mutex across a sim wait/await call in sim-driven packages",
+	Match: matchSimDriven,
+	Run:   runLockedAwait,
+}
+
+// blockingCalls are method names that park the calling Proc on the
+// scheduler (virtual-time waits) across the sim/gpu/ucx/mpi layers.
+var blockingCalls = map[string]bool{
+	"Wait": true, "WaitUntil": true, "WaitFor": true, "WaitAM": true,
+	"WaitAtLeast": true, "WaitNonZero": true, "WaitCountNonZero": true,
+	"Pop": true, "Barrier": true, "Synchronize": true, "Yield": true,
+}
+
+// lockMethods acquire, unlockMethods release.
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockedAwait(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLockedAwait(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkLockedAwait walks the function body in source order, maintaining the
+// set of identifiers currently holding a lock. Source order approximates
+// control flow closely enough here: the rule is meant to keep mutexes out of
+// sim code paths entirely, and the suppression directive covers the rare
+// intentional exception.
+func checkLockedAwait(pass *Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Nested function literals get their own scan (a closure does not
+		// inherit the lexical lock state at its definition site, it runs
+		// later); skip them in this pass.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		// A deferred Unlock releases at function exit, not here: the lock
+		// stays held for the rest of the body, which is precisely the case
+		// this rule exists for. Don't descend.
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id := recvIdent(call)
+		method := calleeName(call)
+		if id != nil && lockMethods[method] {
+			held[id.Name] = true
+			return true
+		}
+		if id != nil && unlockMethods[method] {
+			delete(held, id.Name)
+			return true
+		}
+		if blockingCalls[method] && (id == nil || !held[id.Name]) && len(held) > 0 {
+			for mu := range held {
+				pass.Reportf(call.Pos(), "virtual-time wait %s(...) while holding mutex %q: the parked Proc would stall the whole simulation", method, mu)
+				break
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PartitionedOrderAnalyzer flags intra-function misuse of the partitioned
+// API state machine (the misuse classes Bridges et al. catalog for
+// GPU-triggered MPI): Pready/PbufPrepare/Wait before Start, double Start,
+// duplicate or out-of-range literal Pready, Free of an active request, any
+// use after Free, and reads of a receive buffer inside an open epoch before
+// Parrived/Wait.
+//
+// The analysis is deliberately straight-line: it tracks only variables it
+// sees initialized from a P{send,recv}Init* call, and stops tracking a
+// variable as soon as it is touched inside a compound statement (loop,
+// branch) — nested blocks are then scanned independently with fresh state.
+// That trades recall for zero false positives on well-formed iteration
+// loops.
+var PartitionedOrderAnalyzer = &Analyzer{
+	Name:      "partitionedorder",
+	Doc:       "flag intra-function partitioned-API state-machine misuse (Pready before Start, use after Free, ...)",
+	SkipTests: true, // tests exercise misuse on purpose (mustPanic)
+	Run:       runPartitionedOrder,
+}
+
+// partInitCalls maps initializer names to the request direction.
+var partInitCalls = map[string]string{
+	"PsendInit":           "send",
+	"PsendInitParts":      "send",
+	"PsendInitPersistent": "send",
+	"PrecvInit":           "recv",
+	"PrecvInitParts":      "recv",
+	"PrecvInitPersistent": "recv",
+}
+
+// partReq is the tracked straight-line state of one request variable.
+type partReq struct {
+	dir      string // "send" or "recv"
+	nparts   int    // -1 when unknown
+	bufName  string // recv buffer identifier, "" when unknown
+	started  bool
+	freed    bool
+	readied  map[int]bool // literal partitions marked ready this epoch
+	everInit bool         // Start seen at least once (epoch counter proxy)
+	arrived  bool         // Parrived/Wait/Test observed since Start
+}
+
+func runPartitionedOrder(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				scanPartBlock(pass, body, map[string]*partReq{})
+			}
+			return true
+		})
+	}
+}
+
+// scanPartBlock walks one statement sequence, updating the tracked request
+// states. Compound statements drop any tracked variable they mention and are
+// then scanned with fresh state (so self-contained misuse inside them is
+// still caught).
+func scanPartBlock(pass *Pass, block *ast.BlockStmt, reqs map[string]*partReq) {
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			trackPartInit(s, reqs)
+			checkBufferReads(pass, s, reqs)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && stepPartCall(pass, call, reqs) {
+				continue
+			}
+			checkBufferReads(pass, s, reqs)
+		case *ast.DeferStmt:
+			// defer x.Free()/x.Wait(p) runs at function exit; treat it as
+			// well-formed cleanup and stop tracking the variable.
+			if id := recvIdent(s.Call); id != nil {
+				delete(reqs, id.Name)
+			}
+		case *ast.ReturnStmt:
+			checkBufferReads(pass, s, reqs)
+			return
+		default:
+			// Compound statement (if/for/switch/range/block/...): untrack
+			// everything it touches, then scan nested blocks independently.
+			for name := range reqs {
+				r := reqs[name]
+				if usesIdent(stmt, name) || (r.bufName != "" && usesIdent(stmt, r.bufName)) {
+					delete(reqs, name)
+				}
+			}
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if b, ok := m.(*ast.BlockStmt); ok {
+					scanPartBlock(pass, b, map[string]*partReq{})
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// trackPartInit starts tracking `x := core.PsendInit(...)` style bindings.
+func trackPartInit(s *ast.AssignStmt, reqs map[string]*partReq) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name := calleeName(call)
+	dir, ok := partInitCalls[name]
+	if !ok {
+		delete(reqs, lhs.Name) // rebound to something else
+		return
+	}
+	r := &partReq{dir: dir, nparts: -1, readied: map[int]bool{}}
+	// P*Init(p, r, peer, tag, buf, nparts): literal partition count and a
+	// plain-identifier buffer are remembered for range/read checks.
+	if !strings.HasSuffix(name, "Parts") && len(call.Args) == 6 {
+		if n, ok := intLit(call.Args[5]); ok {
+			r.nparts = n
+		}
+		if buf, ok := call.Args[4].(*ast.Ident); ok && dir == "recv" {
+			r.bufName = buf.Name
+		}
+	}
+	reqs[lhs.Name] = r
+}
+
+// stepPartCall advances the state machine for `x.Method(...)` statements.
+// It returns true when the call was a tracked request operation.
+func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool {
+	id := recvIdent(call)
+	if id == nil {
+		return false
+	}
+	r, ok := reqs[id.Name]
+	if !ok {
+		return false
+	}
+	method := calleeName(call)
+	use := func() bool {
+		if r.freed {
+			pass.Reportf(call.Pos(), "%s on freed request %s: use after Free", method, id.Name)
+			return false
+		}
+		return true
+	}
+	switch method {
+	case "Start":
+		if !use() {
+			return true
+		}
+		if r.started {
+			pass.Reportf(call.Pos(), "Start on already-started request %s: missing Wait between epochs", id.Name)
+		}
+		r.started = true
+		r.everInit = true
+		r.arrived = false
+		r.readied = map[int]bool{}
+	case "PbufPrepare":
+		if !use() {
+			return true
+		}
+		if !r.started {
+			pass.Reportf(call.Pos(), "PbufPrepare before Start on request %s", id.Name)
+		}
+	case "Pready":
+		if !use() {
+			return true
+		}
+		if !r.started {
+			pass.Reportf(call.Pos(), "Pready before Start on request %s", id.Name)
+		}
+		if len(call.Args) >= 2 {
+			if part, ok := intLit(call.Args[1]); ok {
+				if r.nparts >= 0 && (part < 0 || part >= r.nparts) {
+					pass.Reportf(call.Pos(), "Pready partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
+				} else if r.readied[part] {
+					pass.Reportf(call.Pos(), "duplicate Pready of partition %d on request %s in the same epoch", part, id.Name)
+				}
+				r.readied[part] = true
+			}
+		}
+	case "Parrived":
+		if !use() {
+			return true
+		}
+		if len(call.Args) >= 1 {
+			if part, ok := intLit(call.Args[0]); ok && r.nparts >= 0 && (part < 0 || part >= r.nparts) {
+				pass.Reportf(call.Pos(), "Parrived partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
+			}
+		}
+		r.arrived = true
+	case "Wait":
+		if !use() {
+			return true
+		}
+		if !r.started {
+			pass.Reportf(call.Pos(), "Wait before Start on request %s", id.Name)
+		}
+		r.started = false
+		r.arrived = true
+	case "Test":
+		if !use() {
+			return true
+		}
+		// Completion is now data-dependent; stop reasoning about the epoch.
+		r.started = false
+		r.arrived = true
+	case "Free":
+		if !use() {
+			return true
+		}
+		if r.started {
+			pass.Reportf(call.Pos(), "Free of request %s inside an active epoch (missing Wait)", id.Name)
+		}
+		r.freed = true
+	default:
+		// Unknown method (NParts, Epoch, ArrivalFlags, ...): harmless.
+	}
+	return true
+}
+
+// checkBufferReads reports uses of a tracked receive buffer while its
+// epoch is open and no Parrived/Wait has been observed: the sender may still
+// be writing into it.
+func checkBufferReads(pass *Pass, stmt ast.Stmt, reqs map[string]*partReq) {
+	for name, r := range reqs {
+		if r.dir != "recv" || r.bufName == "" || !r.started || r.arrived {
+			continue
+		}
+		if usesIdent(stmt, r.bufName) {
+			pass.Reportf(stmt.Pos(), "read of receive buffer %s of request %s before Parrived/Wait: the epoch is still open", r.bufName, name)
+			r.arrived = true // one report per epoch is enough
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// simDrivenPackages are the packages whose code runs under the virtual
+// clock: a wall-clock call there bypasses internal/sim and silently corrupts
+// every reproduced figure.
+var simDrivenPackages = map[string]bool{
+	"internal/sim":     true,
+	"internal/gpu":     true,
+	"internal/core":    true,
+	"internal/coll":    true,
+	"internal/fabric":  true,
+	"internal/cluster": true,
+	"internal/ucx":     true,
+	"internal/nccl":    true,
+	"internal/mpi":     true,
+	"internal/jacobi":  true,
+	"internal/dl":      true,
+	"internal/predict": true,
+	"internal/bench":   true,
+}
+
+// matchSimDriven restricts a rule to the sim-driven package set (module
+// path prefix stripped).
+func matchSimDriven(pkgPath string) bool {
+	i := strings.Index(pkgPath, "internal/")
+	if i < 0 {
+		return false
+	}
+	return simDrivenPackages[pkgPath[i:]]
+}
+
+// bannedTimeIdents are the package-time members that read or schedule on the
+// wall clock. Pure conversions and constants (time.Duration arithmetic,
+// time.Millisecond) are deliberately not listed.
+var bannedTimeIdents = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "Timer": true, "Ticker": true,
+}
+
+// SimclockAnalyzer forbids wall-clock time in sim-driven packages: all
+// simulated time must be charged through the virtual clock in internal/sim.
+var SimclockAnalyzer = &Analyzer{
+	Name:  "simclock",
+	Doc:   "forbid wall-clock time (time.Now/Sleep/Since/Timer/Ticker) in sim-driven packages",
+	Match: matchSimDriven,
+	Run:   runSimclock,
+}
+
+func runSimclock(pass *Pass) {
+	for _, f := range pass.Files() {
+		local, imported := importName(f.Ast, "time")
+		if !imported {
+			continue
+		}
+		if local == "." {
+			// A dot import makes every wall-clock symbol an unqualified
+			// identifier; refuse it wholesale rather than chasing uses.
+			for _, imp := range f.Ast.Imports {
+				if strings.Trim(imp.Path.Value, `"`) == "time" {
+					pass.Reportf(imp.Pos(), "dot-import of package time in a sim-driven package")
+				}
+			}
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgSel(sel, local)
+			if !ok || !bannedTimeIdents[name] {
+				return true
+			}
+			// With type information, require the identifier to really be the
+			// package (not a shadowing local).
+			if id := sel.X.(*ast.Ident); pass.Pkg.Info != nil {
+				if obj, found := pass.Pkg.Info.Uses[id]; found {
+					if _, isPkg := obj.(*types.PkgName); !isPkg {
+						return true
+					}
+				}
+			}
+			pass.Reportf(sel.Pos(), "wall-clock use time.%s in sim-driven package %s: charge virtual time through internal/sim instead", name, pass.Pkg.Path)
+			return true
+		})
+	}
+}

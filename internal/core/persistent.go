@@ -69,7 +69,18 @@ func PsendInitPersistent(p *sim.Proc, r *mpi.Rank, dest, tag int, buf []float64,
 	for i, view := range parts {
 		req.ops = append(req.ops, r.SendInit(dest, persistentTag(tag, i), view))
 	}
+	sanRegister(r, req, req.sanDesc(), len(parts))
 	return req
+}
+
+func (s *PersistentSendRequest) sanDesc() string {
+	return fmt.Sprintf("psend-persistent %d->%d tag %d", s.R.ID, s.Dest, s.Tag)
+}
+
+// violate reports a state-machine violation on this request through the
+// uniform checker; true means "skip the offending operation" (SanRecord).
+func (s *PersistentSendRequest) violate(rule, detail string) bool {
+	return sanViolate(s.R, rule, s.sanDesc(), detail)
 }
 
 // PrecvInitPersistent initializes the persistent-backed receive side.
@@ -80,7 +91,18 @@ func PrecvInitPersistent(p *sim.Proc, r *mpi.Rank, src, tag int, buf []float64, 
 	for i, view := range parts {
 		req.ops = append(req.ops, r.RecvInit(src, persistentTag(tag, i), view))
 	}
+	sanRegister(r, req, req.sanDesc(), len(parts))
 	return req
+}
+
+func (rr *PersistentRecvRequest) sanDesc() string {
+	return fmt.Sprintf("precv-persistent %d->%d tag %d", rr.Src, rr.R.ID, rr.Tag)
+}
+
+// violate reports a state-machine violation on this request through the
+// uniform checker; true means "skip the offending operation" (SanRecord).
+func (rr *PersistentRecvRequest) violate(rule, detail string) bool {
+	return sanViolate(rr.R, rule, rr.sanDesc(), detail)
 }
 
 // NParts returns the partition count.
@@ -89,10 +111,15 @@ func (s *PersistentSendRequest) NParts() int { return len(s.parts) }
 // Start begins a send epoch. Nothing is posted yet: each partition's
 // persistent send starts at its Pready.
 func (s *PersistentSendRequest) Start(p *sim.Proc) {
-	s.check()
-	if s.started {
-		panic("core: Start on started persistent send request")
+	if s.check("Start") {
+		return
 	}
+	if s.started {
+		if s.violate("double-start", "Start on already-started persistent send request") {
+			return
+		}
+	}
+	sanStart(s.R, s)
 	p.Wait(s.R.W.Model.HostPostOverhead)
 	s.epoch++
 	s.started = true
@@ -102,51 +129,80 @@ func (s *PersistentSendRequest) Start(p *sim.Proc) {
 // already guarantees data only lands in a posted receive buffer, which is
 // exactly the hazard MPIX_Pbuf_prepare exists to prevent on the RMA path.
 func (s *PersistentSendRequest) PbufPrepare(p *sim.Proc) {
-	s.check()
+	if s.check("PbufPrepare") {
+		return
+	}
 	if !s.started {
-		panic("core: PbufPrepare before Start")
+		if s.violate("pbufprepare-before-start", "PbufPrepare before Start") {
+			return
+		}
 	}
 }
 
 // Pready marks partition part ready: MPI_Start on its persistent send.
 func (s *PersistentSendRequest) Pready(p *sim.Proc, part int) {
-	s.check()
+	if s.check("Pready") {
+		return
+	}
 	if !s.started {
-		panic("core: Pready before Start")
+		if s.violate("pready-before-start", "Pready before Start") {
+			return
+		}
 	}
 	if part < 0 || part >= len(s.ops) {
-		panic(fmt.Sprintf("core: Pready partition %d of %d", part, len(s.ops)))
+		if s.violate("pready-range", fmt.Sprintf("Pready partition %d out of %d", part, len(s.ops))) {
+			return
+		}
+	}
+	if op := s.ops[part]; op.Started() && op.Epoch() == s.epoch {
+		if sanCheckOnly(s.R, "double-pready", s.sanDesc(),
+			fmt.Sprintf("duplicate Pready of partition %d", part)) {
+			return
+		}
 	}
 	s.ops[part].Start(p)
 }
 
 // Wait completes the epoch: every partition's send must finish.
 func (s *PersistentSendRequest) Wait(p *sim.Proc) {
-	s.check()
+	if s.check("Wait") {
+		return
+	}
 	if !s.started {
-		panic("core: Wait before Start")
+		if s.violate("wait-before-start", "Wait before Start") {
+			return
+		}
 	}
 	for i, op := range s.ops {
 		if !op.Started() || op.Epoch() != s.epoch {
-			panic(fmt.Sprintf("core: Wait with partition %d never readied this epoch", i))
+			if s.violate("wait-unready", fmt.Sprintf("Wait with partition %d never readied this epoch", i)) {
+				continue
+			}
 		}
 		op.Wait(p)
 	}
 	s.started = false
+	sanComplete(s.R, s)
 }
 
 // Free releases the request.
 func (s *PersistentSendRequest) Free() {
 	if s.started {
-		panic("core: Free of active persistent send request")
+		if s.violate("free-active", "Free of persistent send request inside an active epoch") {
+			return
+		}
 	}
 	s.freed = true
+	sanFree(s.R, s)
 }
 
-func (s *PersistentSendRequest) check() {
+// check guards against use-after-Free; true means "skip the operation"
+// (sanitizer in SanRecord mode).
+func (s *PersistentSendRequest) check(op string) bool {
 	if s.freed {
-		panic("core: use of freed persistent send request")
+		return s.violate("use-after-free", op+" on freed persistent send request")
 	}
+	return false
 }
 
 // NParts returns the partition count.
@@ -156,10 +212,15 @@ func (rr *PersistentRecvRequest) NParts() int { return len(rr.parts) }
 // (the receive side of partitioned communication is not partitioned in
 // time — the standard's receiver just needs the buffer ready).
 func (rr *PersistentRecvRequest) Start(p *sim.Proc) {
-	rr.check()
-	if rr.started {
-		panic("core: Start on started persistent recv request")
+	if rr.check("Start") {
+		return
 	}
+	if rr.started {
+		if rr.violate("double-start", "Start on already-started persistent recv request") {
+			return
+		}
+	}
+	sanStart(rr.R, rr)
 	rr.epoch++
 	rr.started = true
 	for _, op := range rr.ops {
@@ -169,40 +230,62 @@ func (rr *PersistentRecvRequest) Start(p *sim.Proc) {
 
 // PbufPrepare is a no-op (see the send side).
 func (rr *PersistentRecvRequest) PbufPrepare(p *sim.Proc) {
-	rr.check()
+	if rr.check("PbufPrepare") {
+		return
+	}
 	if !rr.started {
-		panic("core: PbufPrepare before Start")
+		if rr.violate("pbufprepare-before-start", "PbufPrepare before Start") {
+			return
+		}
 	}
 }
 
 // Parrived reports whether partition part has been received this epoch.
 func (rr *PersistentRecvRequest) Parrived(part int) bool {
-	rr.check()
+	if rr.check("Parrived") {
+		return false
+	}
+	if part < 0 || part >= len(rr.ops) {
+		if rr.violate("parrived-range", fmt.Sprintf("Parrived partition %d out of %d", part, len(rr.ops))) {
+			return false
+		}
+	}
 	return rr.ops[part].Done()
 }
 
 // Wait completes the epoch: all partitions received.
 func (rr *PersistentRecvRequest) Wait(p *sim.Proc) {
-	rr.check()
+	if rr.check("Wait") {
+		return
+	}
 	if !rr.started {
-		panic("core: Wait before Start")
+		if rr.violate("wait-before-start", "Wait before Start") {
+			return
+		}
 	}
 	for _, op := range rr.ops {
 		op.Wait(p)
 	}
 	rr.started = false
+	sanComplete(rr.R, rr)
 }
 
 // Free releases the request.
 func (rr *PersistentRecvRequest) Free() {
 	if rr.started {
-		panic("core: Free of active persistent recv request")
+		if rr.violate("free-active", "Free of persistent recv request inside an active epoch") {
+			return
+		}
 	}
 	rr.freed = true
+	sanFree(rr.R, rr)
 }
 
-func (rr *PersistentRecvRequest) check() {
+// check guards against use-after-Free; true means "skip the operation"
+// (sanitizer in SanRecord mode).
+func (rr *PersistentRecvRequest) check(op string) bool {
 	if rr.freed {
-		panic("core: use of freed persistent recv request")
+		return rr.violate("use-after-free", op+" on freed persistent recv request")
 	}
+	return false
 }

@@ -63,6 +63,10 @@ type Prequest struct {
 	// pending are the MPIX_Pready notification flags in pinned host
 	// memory, watched by the progression engine.
 	pending *gpu.Flags
+	// devIssued tracks which partitions the device has already notified
+	// this epoch; the sanitizer uses it to catch duplicate device-side
+	// Pready calls that the idempotent flag write would otherwise absorb.
+	devIssued []bool
 
 	// Kernel Copy state: direct views of the peer's partitions (CUDA IPC
 	// mapping) and the NVLink route they are reached over.
@@ -98,7 +102,8 @@ func PrequestCreate(p *sim.Proc, req *SendRequest, opts PrequestOpts) (*Prequest
 		// Pending flags share the owning worker's condition so device-side
 		// MPIX_Pready stores wake the progression engine the instant they
 		// become host-visible.
-		pending: gpu.NewFlagsShared("pready:"+req.Key.String(), req.NParts(), req.R.Worker.Cond()),
+		pending:   gpu.NewFlagsShared("pready:"+req.Key.String(), req.NParts(), req.R.Worker.Cond()),
+		devIssued: make([]bool, req.NParts()),
 	}
 	if opts.Mech == KernelCopy {
 		parts, _, err := req.ep.RkeyPtr(req.rkey)
@@ -134,6 +139,9 @@ func (q *Prequest) resetEpoch() {
 	for i := range q.counters {
 		q.counters[i] = 0
 	}
+	for i := range q.devIssued {
+		q.devIssued[i] = false
+	}
 	q.pending.Reset()
 }
 
@@ -144,10 +152,35 @@ func (q *Prequest) NParts() int { return q.Req.NParts() }
 // progression engine use it).
 func (q *Prequest) Pending() *gpu.Flags { return q.pending }
 
-func (q *Prequest) checkKernelUse() {
+// checkKernelUse guards the device bindings against use-after-Free; true
+// means "skip the operation" (sanitizer in SanRecord mode).
+func (q *Prequest) checkKernelUse(op string) bool {
 	if q.freed {
-		panic("core: device use of freed Prequest " + q.Req.Key.String())
+		return sanViolate(q.Req.R, "use-after-free", q.Req.sanDesc(),
+			"device "+op+" on freed Prequest")
 	}
+	return false
+}
+
+// notify is the single funnel for device-side partition notifications: it
+// range-checks the partition, lets the sanitizer catch duplicate device
+// Pready calls (the flag write itself is idempotent, so the bare library
+// silently absorbs them), and then raises the pinned-host-memory flag.
+func (q *Prequest) notify(b *gpu.BlockCtx, part int, v int64) {
+	if part < 0 || part >= q.pending.Len() {
+		if sanViolate(q.Req.R, "pready-range", q.Req.sanDesc(),
+			fmt.Sprintf("device Pready partition %d out of %d", part, q.pending.Len())) {
+			return
+		}
+	}
+	if q.devIssued[part] {
+		if sanCheckOnly(q.Req.R, "device-double-pready", q.Req.sanDesc(),
+			fmt.Sprintf("duplicate device Pready of partition %d", part)) {
+			return
+		}
+	}
+	q.devIssued[part] = true
+	b.WriteHostFlag(q.pending, part, v)
 }
 
 // readyValue is what the device writes into the pending flag: data still to
@@ -166,10 +199,12 @@ func (q *Prequest) readyValue() int64 {
 // notification flag into pinned host memory — no aggregation, the baseline
 // of Fig. 3 and the behaviour of MPI-ACX.
 func (q *Prequest) PreadyThread(b *gpu.BlockCtx, partForThread func(gtid int) int) {
-	q.checkKernelUse()
+	if q.checkKernelUse("PreadyThread") {
+		return
+	}
 	v := q.readyValue()
 	b.ForEachThread(func(gtid int) {
-		b.WriteHostFlag(q.pending, partForThread(gtid), v)
+		q.notify(b, partForThread(gtid), v)
 	})
 }
 
@@ -177,11 +212,13 @@ func (q *Prequest) PreadyThread(b *gpu.BlockCtx, partForThread func(gtid int) in
 // warp synchronize with __syncwarp and lane 0 writes one notification per
 // warp.
 func (q *Prequest) PreadyWarp(b *gpu.BlockCtx, partForWarp func(warp int) int) {
-	q.checkKernelUse()
+	if q.checkKernelUse("PreadyWarp") {
+		return
+	}
 	v := q.readyValue()
 	for w := 0; w < b.Warps(); w++ {
 		b.SyncWarp()
-		b.WriteHostFlag(q.pending, partForWarp(w), v)
+		q.notify(b, partForWarp(w), v)
 	}
 }
 
@@ -189,9 +226,11 @@ func (q *Prequest) PreadyWarp(b *gpu.BlockCtx, partForWarp func(warp int) int) {
 // synchronizes with __syncthreads and thread 0 writes a single
 // notification.
 func (q *Prequest) PreadyBlock(b *gpu.BlockCtx, part int) {
-	q.checkKernelUse()
+	if q.checkKernelUse("PreadyBlock") {
+		return
+	}
 	b.SyncThreads()
-	b.WriteHostFlag(q.pending, part, q.readyValue())
+	q.notify(b, part, q.readyValue())
 }
 
 // PreadyBlockAggregated aggregates multiple blocks into one transport
@@ -199,10 +238,16 @@ func (q *Prequest) PreadyBlock(b *gpu.BlockCtx, part int) {
 // GPU global memory; the block that reaches the threshold writes the single
 // host notification (the counters created by MPIX_Prequest_create).
 func (q *Prequest) PreadyBlockAggregated(b *gpu.BlockCtx, part int) {
-	q.checkKernelUse()
+	if q.checkKernelUse("PreadyBlockAggregated") {
+		return
+	}
 	b.SyncThreads()
-	if b.AtomicAdd(&q.counters[part], 1) == int64(q.threshold) {
-		b.WriteHostFlag(q.pending, part, q.readyValue())
+	switch n := b.AtomicAdd(&q.counters[part], 1); {
+	case n == int64(q.threshold):
+		q.notify(b, part, q.readyValue())
+	case n > int64(q.threshold):
+		sanCheckOnly(q.Req.R, "aggregate-overflow", q.Req.sanDesc(),
+			fmt.Sprintf("partition %d received %d block contributions, threshold %d", part, n, q.threshold))
 	}
 }
 
@@ -218,15 +263,24 @@ func (q *Prequest) PreadyBlockAggregated(b *gpu.BlockCtx, part int) {
 // counterpart of the fence + same-QP ordering the real implementation
 // relies on.
 func (q *Prequest) KernelCopyRange(b *gpu.BlockCtx, part, lo, hi int) {
-	q.checkKernelUse()
+	if q.checkKernelUse("KernelCopyRange") {
+		return
+	}
 	if q.Mech != KernelCopy {
-		panic("core: KernelCopyRange on a progression-engine Prequest")
+		if sanViolate(q.Req.R, "mech-mismatch", q.Req.sanDesc(),
+			"KernelCopyRange on a progression-engine Prequest") {
+			return
+		}
 	}
 	src := q.Req.parts[part][lo:hi]
 	dst := q.remoteParts[part][lo:hi]
 	b.RemoteCopy(q.route, dst, src, nil)
-	if b.AtomicAdd(&q.counters[part], 1) == int64(q.threshold) {
-		b.WriteHostFlag(q.pending, part, readyCompleted)
+	switch n := b.AtomicAdd(&q.counters[part], 1); {
+	case n == int64(q.threshold):
+		q.notify(b, part, readyCompleted)
+	case n > int64(q.threshold):
+		sanCheckOnly(q.Req.R, "aggregate-overflow", q.Req.sanDesc(),
+			fmt.Sprintf("partition %d received %d kernel-copy contributions, threshold %d", part, n, q.threshold))
 	}
 }
 

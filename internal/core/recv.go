@@ -57,7 +57,7 @@ func PrecvInitParts(p *sim.Proc, r *mpi.Rank, src, tag int, parts [][]float64) *
 	st.rseq[k3]++
 
 	p.Wait(r.W.Model.PinitCost)
-	return &RecvRequest{
+	req := &RecvRequest{
 		R:     r,
 		Key:   key,
 		Src:   src,
@@ -68,6 +68,16 @@ func PrecvInitParts(p *sim.Proc, r *mpi.Rank, src, tag int, parts [][]float64) *
 		// progresses schedules from there).
 		arrival: gpu.NewFlagsShared("arrival:"+key.String(), len(parts), r.Worker.Cond()),
 	}
+	sanRegister(r, req, req.sanDesc(), len(parts))
+	return req
+}
+
+func (rr *RecvRequest) sanDesc() string { return "precv " + rr.Key.String() }
+
+// violate reports a state-machine violation on this request through the
+// uniform checker; true means "skip the offending operation" (SanRecord).
+func (rr *RecvRequest) violate(rule, detail string) bool {
+	return sanViolate(rr.R, rule, rr.sanDesc(), detail)
 }
 
 // NParts returns the number of transport partitions.
@@ -82,10 +92,15 @@ func (rr *RecvRequest) Epoch() int { return rr.epoch }
 // Start begins a receive epoch (MPI_Start): flags return to their default
 // (unarrived) state.
 func (rr *RecvRequest) Start(p *sim.Proc) {
-	rr.checkUsable()
-	if rr.started {
-		panic("core: Start on already-started recv request " + rr.Key.String())
+	if rr.checkUsable("Start") {
+		return
 	}
+	if rr.started {
+		if rr.violate("double-start", "Start on already-started recv request") {
+			return
+		}
+	}
+	sanStart(rr.R, rr)
 	p.Wait(rr.R.W.Model.HostPostOverhead)
 	rr.epoch++
 	rr.started = true
@@ -104,9 +119,13 @@ func (rr *RecvRequest) Start(p *sim.Proc) {
 // ucp_mem_map, packs the remote keys, and responds with its own setup
 // object. On later calls it only sends the ready-to-receive signal.
 func (rr *RecvRequest) PbufPrepare(p *sim.Proc) {
-	rr.checkUsable()
+	if rr.checkUsable("PbufPrepare") {
+		return
+	}
 	if !rr.started {
-		panic("core: PbufPrepare before Start on " + rr.Key.String())
+		if rr.violate("pbufprepare-before-start", "PbufPrepare before Start") {
+			return
+		}
 	}
 	chargeMCAOnce(p, rr.R)
 	if !rr.prepared {
@@ -137,7 +156,14 @@ func (rr *RecvRequest) Prepared() bool { return rr.prepared }
 // Parrived is the host binding of MPI_Parrived: poll the receive-side
 // completion flag of one partition.
 func (rr *RecvRequest) Parrived(part int) bool {
-	rr.checkUsable()
+	if rr.checkUsable("Parrived") {
+		return false
+	}
+	if part < 0 || part >= len(rr.parts) {
+		if rr.violate("parrived-range", fmt.Sprintf("Parrived partition %d out of %d", part, len(rr.parts))) {
+			return false
+		}
+	}
 	return rr.arrival.Get(part) == int64(rr.epoch)
 }
 
@@ -162,7 +188,9 @@ func (rr *RecvRequest) ArrivalFlags() *gpu.Flags { return rr.arrival }
 // memory copy there, because device code polls global memory far more
 // cheaply than host memory).
 func (rr *RecvRequest) EnableDeviceParrived(p *sim.Proc) *gpu.Flags {
-	rr.checkUsable()
+	if rr.checkUsable("EnableDeviceParrived") {
+		return rr.deviceMirror
+	}
 	if rr.deviceMirror == nil {
 		p.Wait(rr.R.W.Model.DeviceAllocCost)
 		rr.deviceMirror = gpu.NewFlags(rr.R.W.K, "devarrival:"+rr.Key.String(), len(rr.parts))
@@ -193,9 +221,13 @@ func (rr *RecvRequest) pushMirror() {
 // partition's arrival flag carries the current epoch, pushing arrivals to
 // the device mirror as they are observed.
 func (rr *RecvRequest) Wait(p *sim.Proc) {
-	rr.checkUsable()
+	if rr.checkUsable("Wait") {
+		return
+	}
 	if !rr.started {
-		panic("core: Wait before Start on " + rr.Key.String())
+		if rr.violate("wait-before-start", "Wait before Start") {
+			return
+		}
 	}
 	epoch := int64(rr.epoch)
 	for {
@@ -214,17 +246,21 @@ func (rr *RecvRequest) Wait(p *sim.Proc) {
 	}
 	rr.pushMirror()
 	rr.started = false
+	sanComplete(rr.R, rr)
 }
 
 // Test is the non-blocking completion check (MPI_Test).
 func (rr *RecvRequest) Test() bool {
-	rr.checkUsable()
+	if rr.checkUsable("Test") {
+		return false
+	}
 	if !rr.started {
 		return true
 	}
 	rr.pushMirror()
 	if rr.ArrivedCount() == len(rr.parts) {
 		rr.started = false
+		sanComplete(rr.R, rr)
 		return true
 	}
 	return false
@@ -233,13 +269,19 @@ func (rr *RecvRequest) Test() bool {
 // Free releases the request.
 func (rr *RecvRequest) Free() {
 	if rr.started {
-		panic("core: Free of active recv request " + rr.Key.String())
+		if rr.violate("free-active", "Free of recv request inside an active epoch") {
+			return
+		}
 	}
 	rr.freed = true
+	sanFree(rr.R, rr)
 }
 
-func (rr *RecvRequest) checkUsable() {
+// checkUsable guards against use-after-Free; true means "skip the operation"
+// (sanitizer in SanRecord mode).
+func (rr *RecvRequest) checkUsable(op string) bool {
 	if rr.freed {
-		panic("core: use of freed recv request " + rr.Key.String())
+		return rr.violate("use-after-free", op+" on freed recv request")
 	}
+	return false
 }

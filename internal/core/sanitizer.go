@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+
+// This file is the opt-in runtime sanitizer for the partitioned API: a
+// uniform checker behind every state-machine guard of the library. Without a
+// sanitizer the guards keep the seed behaviour — they panic with a "core:"
+// message. With one attached (EnableSanitizer), every violation is recorded
+// as a structured SanViolation, reported through the trace layer, and — in
+// SanRecord mode — the offending operation is skipped so the simulation can
+// continue and the full misuse report can be collected in one run, the way
+// GICC's runtime validation and the misuse classes of Bridges et al. treat
+// GPU-triggered MPI bugs.
+//
+// The sanitizer also adds checks the bare library cannot afford or does not
+// reach on the device path:
+//
+//   - double MPIX_Pready through the device bindings (PreadyThread/Warp/
+//     Block and the Kernel Copy path), which the flag write otherwise
+//     silently absorbs;
+//   - aggregation-counter overflow (more block contributions than the
+//     BlocksPerTransport threshold);
+//   - leaked requests — never Wait'ed epochs and never-Free'd requests — at
+//     Finalize.
+
+// SanMode selects how the sanitizer responds to a violation.
+type SanMode int
+
+const (
+	// SanPanic records the violation, then panics like the bare library.
+	SanPanic SanMode = iota
+	// SanRecord records the violation, skips the offending operation, and
+	// lets the simulation continue; collect the report with Violations or
+	// Finalize.
+	SanRecord
+)
+
+// SanViolation is one recorded partitioned-API violation.
+type SanViolation struct {
+	// Rule is the violation class slug (e.g. "double-pready",
+	// "use-after-free", "leak-active").
+	Rule string
+	// Request identifies the request, e.g. "psend 0->1 tag 7 #0".
+	Request string
+	// Detail is the human-readable description.
+	Detail string
+	// At is the virtual time of detection.
+	At sim.Time
+}
+
+func (v SanViolation) String() string {
+	return fmt.Sprintf("%v [%s] %s on %s", v.At, v.Rule, v.Detail, v.Request)
+}
+
+// sanRecord tracks one request's lifecycle for leak detection.
+type sanRecord struct {
+	desc      string
+	nparts    int
+	started   bool
+	epochs    int // Start calls
+	completed int // Wait/Test completions
+	freed     bool
+}
+
+// Sanitizer is the per-world runtime checker. All partitioned requests of
+// the world report their transitions to it once attached.
+type Sanitizer struct {
+	w          *mpi.World
+	mode       SanMode
+	recs       map[interface{}]*sanRecord
+	order      []interface{} // registration order, for deterministic reports
+	violations []SanViolation
+}
+
+// EnableSanitizer attaches a runtime sanitizer to the world (idempotent;
+// a second call only updates the mode). It must be called before the
+// requests it should track are initialized.
+func EnableSanitizer(w *mpi.World, mode SanMode) *Sanitizer {
+	if sn, ok := w.SanState.(*Sanitizer); ok {
+		sn.mode = mode
+		return sn
+	}
+	sn := &Sanitizer{w: w, mode: mode, recs: map[interface{}]*sanRecord{}}
+	w.SanState = sn
+	return sn
+}
+
+// SanitizerOf returns the world's sanitizer, or nil when none is attached.
+func SanitizerOf(w *mpi.World) *Sanitizer {
+	sn, _ := w.SanState.(*Sanitizer)
+	return sn
+}
+
+func sanOf(r *mpi.Rank) *Sanitizer { return SanitizerOf(r.W) }
+
+// Violations returns a copy of the violations recorded so far.
+func (sn *Sanitizer) Violations() []SanViolation {
+	return append([]SanViolation(nil), sn.violations...)
+}
+
+// Finalize runs end-of-simulation leak detection: every tracked request must
+// have closed its epochs (Wait) and been released (Free). Call it after
+// World.Run returns. Leaks are recorded as violations — never panics — and
+// the cumulative report is returned.
+func (sn *Sanitizer) Finalize() []SanViolation {
+	for _, req := range sn.order {
+		rec := sn.recs[req]
+		if rec.freed {
+			continue
+		}
+		if rec.started {
+			sn.addViolation("leak-active", rec.desc,
+				fmt.Sprintf("request leaked in an active epoch at Finalize: Start #%d never Wait'ed", rec.epochs))
+		} else {
+			sn.addViolation("leak-unfreed", rec.desc,
+				fmt.Sprintf("request never freed before Finalize (%d epochs completed)", rec.completed))
+		}
+	}
+	return sn.Violations()
+}
+
+// Report renders the violations as a human-readable multi-line string.
+func (sn *Sanitizer) Report() string {
+	if len(sn.violations) == 0 {
+		return "sanitizer: clean"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sanitizer: %d violation(s)\n", len(sn.violations))
+	for _, v := range sn.violations {
+		b.WriteString("  " + v.String() + "\n")
+	}
+	return b.String()
+}
+
+// addViolation records and publishes one violation through the trace layer
+// (the nil-safe Tracer makes this free when tracing is off).
+func (sn *Sanitizer) addViolation(rule, req, detail string) {
+	v := SanViolation{Rule: rule, Request: req, Detail: detail, At: sn.w.K.Now()}
+	sn.violations = append(sn.violations, v)
+	sn.w.K.Tracer().Instant("sanitizer", "violation:"+rule, v.At,
+		sim.TraceKV{K: "request", V: req},
+		sim.TraceKV{K: "detail", V: detail})
+}
+
+// register starts tracking a request.
+func (sn *Sanitizer) register(req interface{}, desc string, nparts int) {
+	if _, ok := sn.recs[req]; ok {
+		return
+	}
+	sn.recs[req] = &sanRecord{desc: desc, nparts: nparts}
+	sn.order = append(sn.order, req)
+}
+
+func (sn *Sanitizer) onStart(req interface{}) {
+	if rec, ok := sn.recs[req]; ok {
+		rec.started = true
+		rec.epochs++
+	}
+}
+
+func (sn *Sanitizer) onComplete(req interface{}) {
+	if rec, ok := sn.recs[req]; ok {
+		rec.started = false
+		rec.completed++
+	}
+}
+
+func (sn *Sanitizer) onFree(req interface{}) {
+	if rec, ok := sn.recs[req]; ok {
+		rec.started = false
+		rec.freed = true
+	}
+}
+
+// ---- hooks the request implementations call ----
+
+// sanRegister, sanStart, sanComplete and sanFree are no-ops without an
+// attached sanitizer.
+func sanRegister(r *mpi.Rank, req interface{}, desc string, nparts int) {
+	if sn := sanOf(r); sn != nil {
+		sn.register(req, desc, nparts)
+	}
+}
+
+func sanStart(r *mpi.Rank, req interface{}) {
+	if sn := sanOf(r); sn != nil {
+		sn.onStart(req)
+	}
+}
+
+func sanComplete(r *mpi.Rank, req interface{}) {
+	if sn := sanOf(r); sn != nil {
+		sn.onComplete(req)
+	}
+}
+
+func sanFree(r *mpi.Rank, req interface{}) {
+	if sn := sanOf(r); sn != nil {
+		sn.onFree(req)
+	}
+}
+
+// sanViolate is the uniform violation guard. It records the violation when a
+// sanitizer is attached. It returns true — meaning "the caller must skip the
+// offending operation" — only in SanRecord mode; otherwise it panics with
+// the library's conventional "core:" message, which is the seed behaviour
+// when no sanitizer is attached.
+func sanViolate(r *mpi.Rank, rule, req, detail string) bool {
+	if sn := sanOf(r); sn != nil {
+		sn.addViolation(rule, req, detail)
+		if sn.mode == SanRecord {
+			return true
+		}
+	}
+	panic(fmt.Sprintf("core: %s on %s [%s]", detail, req, rule))
+}
+
+// sanCheckOnly is sanViolate for checks that did not exist in the seed
+// library (device-path duplicate detection, aggregation overflow): without a
+// sanitizer it stays silent to preserve behaviour; with one it records, and
+// panics in SanPanic mode. Returns true when the caller must skip the
+// operation.
+func sanCheckOnly(r *mpi.Rank, rule, req, detail string) bool {
+	sn := sanOf(r)
+	if sn == nil {
+		return false
+	}
+	sn.addViolation(rule, req, detail)
+	if sn.mode == SanRecord {
+		return true
+	}
+	panic(fmt.Sprintf("core: %s on %s [%s]", detail, req, rule))
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpipart/internal/cluster"
+	"mpipart/internal/gpu"
+	"mpipart/internal/mpi"
+)
+
+func rulesOf(vs []SanViolation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Rule]++
+	}
+	return m
+}
+
+// TestSanitizerDeviceDoublePreadyRecord runs a kernel whose two blocks both
+// notify the same transport partition through MPIX_Pready_block. The bare
+// library absorbs the duplicate silently (the flag write is idempotent); in
+// SanRecord mode the sanitizer must record it, skip it, and let the epoch
+// complete normally.
+func TestSanitizerDeviceDoublePreadyRecord(t *testing.T) {
+	const blockSize = 64
+	const grid = 2
+	src := make([]float64, blockSize)
+	dst := make([]float64, blockSize)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanRecord)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 3, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			done := r.Stream.Launch(gpu.KernelSpec{
+				Name: "double-pready", Grid: grid, Block: blockSize,
+				// Both blocks ready partition 0: the second is a duplicate.
+				Body: func(bc *gpu.BlockCtx) { preq.PreadyBlock(bc, 0) },
+			})
+			sreq.Wait(p)
+			done.Wait(p)
+			preq.Free()
+			sreq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 3, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			rreq.Free()
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rulesOf(sn.Violations())
+	if got["device-double-pready"] != 1 {
+		t.Errorf("device-double-pready count = %d, want 1 (violations: %v)",
+			got["device-double-pready"], sn.Violations())
+	}
+	// The simulation completed despite the misuse: no leaks at Finalize.
+	if leaks := rulesOf(sn.Finalize()); leaks["leak-active"]+leaks["leak-unfreed"] != 0 {
+		t.Errorf("unexpected leaks: %v", sn.Violations())
+	}
+	if !strings.Contains(sn.Report(), "device-double-pready") {
+		t.Errorf("Report() missing the violation:\n%s", sn.Report())
+	}
+}
+
+// TestSanitizerDeviceDoublePreadyPanics pins SanPanic mode on the device
+// path: the duplicate notification both records a violation and panics like
+// the library's host-side guards.
+func TestSanitizerDeviceDoublePreadyPanics(t *testing.T) {
+	const blockSize = 32
+	src := make([]float64, blockSize)
+	dst := make([]float64, blockSize)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanPanic)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 3, src, 1)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			preq, err := PrequestCreate(p, sreq, PrequestOpts{Mech: ProgressionEngine})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			done := r.Stream.Launch(gpu.KernelSpec{
+				Name: "double-pready-panic", Grid: 1, Block: blockSize,
+				Body: func(bc *gpu.BlockCtx) {
+					preq.PreadyBlock(bc, 0)
+					func() {
+						defer func() {
+							if recover() == nil {
+								t.Error("duplicate device Pready should panic in SanPanic mode")
+							}
+						}()
+						preq.PreadyBlock(bc, 0)
+					}()
+				},
+			})
+			sreq.Wait(p)
+			done.Wait(p)
+			preq.Free()
+			sreq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 3, dst, 1)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			rreq.Free()
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rulesOf(sn.Violations()); got["device-double-pready"] != 1 {
+		t.Errorf("device-double-pready count = %d, want 1", got["device-double-pready"])
+	}
+}
+
+// TestSanitizerParrivedAfterFree exercises the receive-side checks in
+// SanRecord mode: Parrived on a freed request and Parrived on an
+// out-of-range partition are recorded and answered with false instead of
+// panicking.
+func TestSanitizerParrivedAfterFree(t *testing.T) {
+	const n = 8
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanRecord)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 5, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+			sreq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 5, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			if rreq.Parrived(99) {
+				t.Error("out-of-range Parrived must answer false")
+			}
+			rreq.Wait(p)
+			rreq.Free()
+			if rreq.Parrived(0) {
+				t.Error("Parrived on a freed request must answer false")
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rulesOf(sn.Violations())
+	if got["parrived-range"] != 1 {
+		t.Errorf("parrived-range count = %d, want 1", got["parrived-range"])
+	}
+	if got["use-after-free"] != 1 {
+		t.Errorf("use-after-free count = %d, want 1", got["use-after-free"])
+	}
+}
+
+// TestSanitizerHostDoublePreadyRecord pins the SanRecord behaviour of a
+// pre-existing host-side guard: the duplicate MPI_Pready is recorded and
+// skipped (no panic), and the epoch still completes.
+func TestSanitizerHostDoublePreadyRecord(t *testing.T) {
+	const n = 8
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanRecord)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 6, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 0) // duplicate: recorded, skipped
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+			sreq.Free()
+		case 1:
+			rreq := PrecvInit(p, r, 0, 6, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			rreq.Free()
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rulesOf(sn.Violations()); got["double-pready"] != 1 {
+		t.Errorf("double-pready count = %d, want 1 (violations: %v)", got["double-pready"], sn.Violations())
+	}
+}
+
+// TestSanitizerLeakDetection pins Finalize: a request whose epoch was never
+// closed reports leak-active; a completed-but-never-freed request reports
+// leak-unfreed; a properly freed request reports nothing.
+func TestSanitizerLeakDetection(t *testing.T) {
+	const n = 8
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	leaked := make([]float64, n)
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanRecord)
+	w.Spawn(func(r *mpi.Rank) {
+		p := r.Proc()
+		switch r.ID {
+		case 0:
+			sreq := PsendInit(p, r, 1, 7, src, 2)
+			sreq.Start(p)
+			sreq.PbufPrepare(p)
+			sreq.Pready(p, 0)
+			sreq.Pready(p, 1)
+			sreq.Wait(p)
+			// never freed: leak-unfreed
+
+			// started, never waited, never freed: leak-active
+			abandoned := PrecvInit(p, r, 1, 99, leaked, 2)
+			abandoned.Start(p)
+		case 1:
+			rreq := PrecvInit(p, r, 0, 7, dst, 2)
+			rreq.Start(p)
+			rreq.PbufPrepare(p)
+			rreq.Wait(p)
+			rreq.Free() // clean lifecycle: no leak
+		}
+	})
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vs := sn.Violations(); len(vs) != 0 {
+		t.Fatalf("violations before Finalize: %v", vs)
+	}
+	got := rulesOf(sn.Finalize())
+	if got["leak-unfreed"] != 1 {
+		t.Errorf("leak-unfreed count = %d, want 1", got["leak-unfreed"])
+	}
+	if got["leak-active"] != 1 {
+		t.Errorf("leak-active count = %d, want 1", got["leak-active"])
+	}
+	if len(got) != 2 {
+		t.Errorf("unexpected extra violations: %v", sn.Finalize())
+	}
+}
+
+// TestSanitizerIdempotentEnable pins EnableSanitizer semantics: a second
+// call returns the same checker and only updates the mode.
+func TestSanitizerIdempotentEnable(t *testing.T) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+	sn := EnableSanitizer(w, SanPanic)
+	if SanitizerOf(w) != sn {
+		t.Fatal("SanitizerOf must return the attached checker")
+	}
+	if again := EnableSanitizer(w, SanRecord); again != sn {
+		t.Fatal("EnableSanitizer must be idempotent")
+	}
+	if sn.mode != SanRecord {
+		t.Fatalf("mode = %v, want SanRecord", sn.mode)
+	}
+	if sn.Report() != "sanitizer: clean" {
+		t.Fatalf("empty report = %q", sn.Report())
+	}
+}

@@ -79,7 +79,16 @@ func PsendInitParts(p *sim.Proc, r *mpi.Rank, dest, tag int, parts [][]float64) 
 		PartLens: partLens(parts),
 		Worker:   r.Worker.Addr,
 	}, 160)
+	sanRegister(r, req, req.sanDesc(), len(parts))
 	return req
+}
+
+func (s *SendRequest) sanDesc() string { return "psend " + s.Key.String() }
+
+// violate reports a state-machine violation on this request through the
+// uniform checker; true means "skip the offending operation" (SanRecord).
+func (s *SendRequest) violate(rule, detail string) bool {
+	return sanViolate(s.R, rule, s.sanDesc(), detail)
 }
 
 // NParts returns the number of transport partitions.
@@ -95,10 +104,15 @@ func (s *SendRequest) Epoch() int { return s.epoch }
 // pending and resets the per-epoch flags to their defaults. Per the MPI
 // standard it is non-blocking and guarantees no progress by itself.
 func (s *SendRequest) Start(p *sim.Proc) {
-	s.checkUsable()
-	if s.started {
-		panic("core: Start on already-started send request " + s.Key.String())
+	if s.checkUsable("Start") {
+		return
 	}
+	if s.started {
+		if s.violate("double-start", "Start on already-started send request") {
+			return
+		}
+	}
+	sanStart(s.R, s)
 	p.Wait(s.R.W.Model.HostPostOverhead)
 	s.epoch++
 	s.started = true
@@ -121,9 +135,13 @@ func (s *SendRequest) Start(p *sim.Proc) {
 // and unpacks the rkeys. Subsequent calls wait for the receiver's
 // ready-to-receive signal for the current epoch.
 func (s *SendRequest) PbufPrepare(p *sim.Proc) {
-	s.checkUsable()
+	if s.checkUsable("PbufPrepare") {
+		return
+	}
 	if !s.started {
-		panic("core: PbufPrepare before Start on " + s.Key.String())
+		if s.violate("pbufprepare-before-start", "PbufPrepare before Start") {
+			return
+		}
 	}
 	t0 := p.Now()
 	defer func() {
@@ -165,18 +183,28 @@ func (s *SendRequest) Prepared() bool { return s.prepared }
 // (Section IV-A.4). The progression engine also calls this on behalf of
 // device-side MPIX_Pready notifications.
 func (s *SendRequest) Pready(p *sim.Proc, part int) {
-	s.checkUsable()
+	if s.checkUsable("Pready") {
+		return
+	}
 	if !s.started {
-		panic("core: Pready before Start on " + s.Key.String())
+		if s.violate("pready-before-start", "Pready before Start") {
+			return
+		}
 	}
 	if !s.prepared {
-		panic("core: Pready before PbufPrepare on " + s.Key.String())
+		if s.violate("pready-before-pbufprepare", "Pready before PbufPrepare") {
+			return
+		}
 	}
 	if part < 0 || part >= len(s.parts) {
-		panic(fmt.Sprintf("core: Pready partition %d out of %d on %s", part, len(s.parts), s.Key))
+		if s.violate("pready-range", fmt.Sprintf("Pready partition %d out of %d", part, len(s.parts))) {
+			return
+		}
 	}
 	if s.issued[part] {
-		panic(fmt.Sprintf("core: duplicate Pready of partition %d on %s", part, s.Key))
+		if s.violate("double-pready", fmt.Sprintf("duplicate Pready of partition %d", part)) {
+			return
+		}
 	}
 	s.markIssued(part)
 	s.inflight++
@@ -198,7 +226,9 @@ func (s *SendRequest) Pready(p *sim.Proc, part int) {
 // partition into the peer's mapped memory (④.b/⑤ in Fig. 1).
 func (s *SendRequest) completionOnly(p *sim.Proc, part int) {
 	if s.issued[part] {
-		panic(fmt.Sprintf("core: duplicate completion of partition %d on %s", part, s.Key))
+		if s.violate("double-pready", fmt.Sprintf("duplicate completion of partition %d", part)) {
+			return
+		}
 	}
 	s.markIssued(part)
 	s.inflight++
@@ -249,9 +279,13 @@ func (s *SendRequest) done() bool {
 // chained completion signal delivered, then deactivates the request until
 // the next Start.
 func (s *SendRequest) Wait(p *sim.Proc) {
-	s.checkUsable()
+	if s.checkUsable("Wait") {
+		return
+	}
 	if !s.started {
-		panic("core: Wait before Start on " + s.Key.String())
+		if s.violate("wait-before-start", "Wait before Start") {
+			return
+		}
 	}
 	for !s.done() {
 		s.Progress(p)
@@ -263,15 +297,19 @@ func (s *SendRequest) Wait(p *sim.Proc) {
 	}
 	s.started = false
 	s.active = false
+	sanComplete(s.R, s)
 }
 
 // Test is the non-blocking completion check (MPI_Test).
 func (s *SendRequest) Test(p *sim.Proc) bool {
-	s.checkUsable()
+	if s.checkUsable("Test") {
+		return false
+	}
 	s.R.Worker.Progress(p)
 	if s.started && s.done() {
 		s.started = false
 		s.active = false
+		sanComplete(s.R, s)
 		return true
 	}
 	return !s.started
@@ -281,14 +319,20 @@ func (s *SendRequest) Test(p *sim.Proc) bool {
 // an active epoch.
 func (s *SendRequest) Free() {
 	if s.started {
-		panic("core: Free of active send request " + s.Key.String())
+		if s.violate("free-active", "Free of send request inside an active epoch") {
+			return
+		}
 	}
 	s.freed = true
 	s.active = false
+	sanFree(s.R, s)
 }
 
-func (s *SendRequest) checkUsable() {
+// checkUsable guards against use-after-Free; true means "skip the operation"
+// (sanitizer in SanRecord mode).
+func (s *SendRequest) checkUsable(op string) bool {
 	if s.freed {
-		panic("core: use of freed send request " + s.Key.String())
+		return s.violate("use-after-free", op+" on freed send request")
 	}
+	return false
 }

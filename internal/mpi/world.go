@@ -39,6 +39,11 @@ type World struct {
 	barGate  *sim.Gate
 	barCount int
 	barGen   int
+
+	// SanState is opaque state owned by the partitioned library's runtime
+	// sanitizer (core.EnableSanitizer); it lives here so core can attach a
+	// per-world checker without an import cycle.
+	SanState interface{}
 }
 
 // Rank is one simulated MPI process bound to one GPU.
