@@ -1,0 +1,109 @@
+// Command benchgate is the figure-reproduction gate: it runs the
+// designated tier-1 subset of the paper's figure/table points through the
+// parallel sweep runner and compares the resulting virtual-time metrics
+// EXACTLY against a committed golden baseline (BENCH_GOLDEN.json). The
+// simulation is deterministic, so the comparison is bit-for-bit: any drift
+// means the reproduction changed, and the gate exits non-zero with a
+// readable per-point diff.
+//
+// Host wall time is recorded in the golden for reference and only
+// thresholded (-wall-factor), never compared exactly.
+//
+// Usage:
+//
+//	benchgate -check BENCH_GOLDEN.json            # gate (default)
+//	benchgate -write BENCH_GOLDEN.json            # regenerate deliberately
+//	benchgate -check ... -report diff.txt         # also write the diff report
+//	benchgate -workers 8 | -seq                   # pool size (default GOMAXPROCS)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mpipart/internal/bench"
+	"mpipart/internal/runner"
+)
+
+func main() {
+	var (
+		check      = flag.String("check", "", "compare a fresh gate run against this golden file (default BENCH_GOLDEN.json)")
+		write      = flag.String("write", "", "run the gate and (re)write this golden file instead of checking")
+		report     = flag.String("report", "", "also write the diff report (or 'no drift') to this file")
+		workers    = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS")
+		seq        = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
+		wallFactor = flag.Float64("wall-factor", 10, "fail if host wall time exceeds this multiple of the golden's recorded wall time; 0 disables")
+	)
+	flag.Parse()
+	if *write != "" && *check != "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -write and -check are mutually exclusive")
+		os.Exit(2)
+	}
+	path := *check
+	if *write != "" {
+		path = *write
+	}
+	if path == "" {
+		path = "BENCH_GOLDEN.json"
+	}
+	if *seq {
+		*workers = 1
+	}
+
+	r := runner.New(*workers)
+	t0 := time.Now()
+	got := bench.CollectGolden(r, nil)
+	wall := time.Since(t0)
+	got.Description = "golden virtual-time baselines for the tier-1 figure subset (cmd/benchgate)"
+	got.GOARCH = runtime.GOARCH
+	got.WallMS = wall.Milliseconds()
+	hits, misses := r.Stats()
+	fmt.Printf("benchgate: %d points (%d computed, %d memoized) in %.1fs on %d workers\n",
+		len(got.Points), misses, hits, wall.Seconds(), r.Workers())
+
+	if *write != "" {
+		b, err := bench.EncodeGolden(got)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s\n", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(fmt.Errorf("reading golden: %w (regenerate with benchgate -write %s)", err, path))
+	}
+	golden, err := bench.DecodeGolden(raw)
+	if err != nil {
+		fatal(err)
+	}
+	diffs := golden.Compare(got)
+	out := bench.FormatDiffs(diffs)
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if len(diffs) > 0 {
+		fmt.Fprint(os.Stderr, out)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	if *wallFactor > 0 && golden.WallMS > 0 && wall.Milliseconds() > int64(*wallFactor*float64(golden.WallMS)) {
+		fmt.Fprintf(os.Stderr, "benchgate: host wall time %v exceeds %.0fx the golden's %dms — the gate itself got too slow\n",
+			wall, *wallFactor, golden.WallMS)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,11 +1,12 @@
 // Command collbench benchmarks the three allreduce implementations at one
 // configuration: traditional MPI_Allreduce (host-staged), the partitioned
 // allreduce (GPU-initiated, Algorithm 2 progression), and the NCCL-style
-// fused ring.
+// fused ring. The three worlds execute concurrently through the parallel
+// sweep runner.
 //
 // Usage:
 //
-//	collbench -grid 1024 -nodes 2 -userparts 4
+//	collbench -grid 1024 -nodes 2 -userparts 4 [-workers N | -seq]
 package main
 
 import (
@@ -14,15 +15,21 @@ import (
 
 	"mpipart/internal/bench"
 	"mpipart/internal/cluster"
+	"mpipart/internal/runner"
 )
 
 func main() {
 	var (
-		grid  = flag.Int("grid", 1024, "kernel grid size (8 KiB per grid)")
-		nodes = flag.Int("nodes", 1, "nodes (1 = four GH200, 2 = eight GH200)")
-		up    = flag.Int("userparts", 4, "user partitions of the partitioned allreduce")
+		grid    = flag.Int("grid", 1024, "kernel grid size (8 KiB per grid)")
+		nodes   = flag.Int("nodes", 1, "nodes (1 = four GH200, 2 = eight GH200)")
+		up      = flag.Int("userparts", 4, "user partitions of the partitioned allreduce")
+		workers = flag.Int("workers", 0, "parallel sweep workers; 0 = GOMAXPROCS")
+		seq     = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 	)
 	flag.Parse()
+	if *seq {
+		*workers = 1
+	}
 
 	topo := cluster.OneNodeGH200()
 	if *nodes == 2 {
@@ -31,13 +38,16 @@ func main() {
 	cfg := bench.AllreduceConfig{Topo: topo, Grid: *grid, UserParts: *up}
 	bytes := float64(*grid) * 1024 * 8
 
-	tr := bench.MeasureMPIAllreduce(cfg)
-	pa := bench.MeasurePartitionedAllreduce(cfg)
-	nc := bench.MeasureNCCLAllreduce(cfg)
+	ms := runner.New(*workers).Run([]runner.Point{
+		bench.MPIAllreducePoint("collbench/mpi", cfg),
+		bench.PartitionedAllreducePoint("collbench/partitioned", cfg),
+		bench.NCCLAllreducePoint("collbench/nccl", cfg),
+	})
+	tr, pa, nc := ms[0]["elapsed_ns"], ms[1]["elapsed_ns"], ms[2]["elapsed_ns"]
 	fmt.Printf("allreduce of %.1f MiB across %d GPUs (kernel + communication)\n",
 		bytes/(1<<20), topo.TotalGPUs())
-	fmt.Printf("MPI_Allreduce        : %12.3f us\n", tr.Micros())
-	fmt.Printf("partitioned allreduce: %12.3f us   (%.1fx over MPI)\n", pa.Micros(), float64(tr)/float64(pa))
+	fmt.Printf("MPI_Allreduce        : %12.3f us\n", tr/1000)
+	fmt.Printf("partitioned allreduce: %12.3f us   (%.1fx over MPI)\n", pa/1000, tr/pa)
 	fmt.Printf("NCCL                 : %12.3f us   (partitioned trails by %.1f us)\n",
-		nc.Micros(), (pa - nc).Micros())
+		nc/1000, (pa-nc)/1000)
 }

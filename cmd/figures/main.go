@@ -1,5 +1,10 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation (Section VI) on the simulated GH200 testbed.
+// evaluation (Section VI) on the simulated GH200 testbed. The points of
+// all requested figures are executed through one parallel sweep runner
+// (internal/runner): independent simulated worlds fan out over a worker
+// pool, results assemble in figure order, and configurations repeated
+// across figures are computed once. Determinism of the sim kernel makes
+// the output identical at any worker count.
 //
 // Usage:
 //
@@ -9,14 +14,19 @@
 //	figures -max-grid 8192       # raise the sweep cap (figs 2,4,5,6,7,10,11)
 //	figures -max-mult 32         # Jacobi multiplier cap (figs 8,9)
 //	figures -csv                 # CSV instead of aligned tables
+//	figures -workers 8           # worker pool size (0 = GOMAXPROCS)
+//	figures -seq                 # sequential (same as -workers 1)
+//	figures -outdir figures-csv  # also write one <name>.csv per figure
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mpipart/internal/bench"
+	"mpipart/internal/runner"
 )
 
 func main() {
@@ -27,20 +37,20 @@ func main() {
 		maxGrid = flag.Int("max-grid", 2048, "largest kernel grid size in sweeps")
 		maxMult = flag.Int("max-mult", 32, "largest Jacobi problem multiplier")
 		csv     = flag.Bool("csv", false, "emit CSV")
+		workers = flag.Int("workers", 0, "parallel sweep workers; 0 = GOMAXPROCS")
+		seq     = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
+		outdir  = flag.String("outdir", "", "also write one CSV per figure into this directory")
 	)
 	flag.Parse()
 
 	if *fig == 0 && *table == 0 {
 		*all = true
 	}
-	emit := func(t *bench.Table) {
-		if *csv {
-			t.CSV(os.Stdout)
-		} else {
-			t.Fprint(os.Stdout)
-		}
+	if *seq {
+		*workers = 1
 	}
-	run := func(n int) {
+
+	jobFor := func(n int) (bench.Job, bool) {
 		switch n {
 		case 2:
 			// Fig. 2 has no data buffers, so the full paper range is cheap.
@@ -48,44 +58,80 @@ func main() {
 			if mg < 131072 {
 				mg = 131072
 			}
-			emit(bench.Fig2(mg))
+			return bench.Fig2Job(mg), true
 		case 3:
-			emit(bench.Fig3())
+			return bench.Fig3Job(), true
 		case 4:
-			emit(bench.Fig4(*maxGrid))
+			return bench.Fig4Job(*maxGrid), true
 		case 5:
-			emit(bench.Fig5(*maxGrid))
+			return bench.Fig5Job(*maxGrid), true
 		case 6:
-			emit(bench.Fig6(*maxGrid))
+			return bench.Fig6Job(*maxGrid), true
 		case 7:
-			emit(bench.Fig7(*maxGrid))
+			return bench.Fig7Job(*maxGrid), true
 		case 8:
-			emit(bench.Fig8(*maxMult))
+			return bench.Fig8Job(*maxMult), true
 		case 9:
-			emit(bench.Fig9(*maxMult))
+			return bench.Fig9Job(*maxMult), true
 		case 10:
-			emit(bench.Fig10(*maxGrid))
+			return bench.Fig10Job(*maxGrid), true
 		case 11:
-			emit(bench.Fig11(*maxGrid))
+			return bench.Fig11Job(*maxGrid), true
 		default:
-			fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", n)
+			return bench.Job{}, false
+		}
+	}
+
+	var jobs []bench.Job
+	if *all {
+		for n := 2; n <= 11; n++ {
+			j, _ := jobFor(n)
+			jobs = append(jobs, j)
+		}
+		jobs = append(jobs, bench.TableIJob())
+	} else {
+		if *fig != 0 {
+			j, ok := jobFor(*fig)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "figures: unknown figure %d\n", *fig)
+				os.Exit(2)
+			}
+			jobs = append(jobs, j)
+		}
+		if *table == 1 {
+			jobs = append(jobs, bench.TableIJob())
+		} else if *table != 0 {
+			fmt.Fprintf(os.Stderr, "figures: unknown table %d\n", *table)
 			os.Exit(2)
 		}
 	}
-	if *all {
-		for n := 2; n <= 11; n++ {
-			run(n)
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
 		}
-		emit(bench.TableI())
-		return
 	}
-	if *fig != 0 {
-		run(*fig)
-	}
-	if *table == 1 {
-		emit(bench.TableI())
-	} else if *table != 0 {
-		fmt.Fprintf(os.Stderr, "figures: unknown table %d\n", *table)
-		os.Exit(2)
+
+	tables := bench.RunJobs(runner.New(*workers), jobs)
+	for i, t := range tables {
+		if *csv {
+			t.CSV(os.Stdout)
+		} else {
+			t.Fprint(os.Stdout)
+		}
+		if *outdir != "" {
+			path := filepath.Join(*outdir, jobs[i].Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+			t.CSV(f)
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

@@ -1,10 +1,11 @@
 // Command osu runs OSU-microbenchmark-style measurements (latency,
 // uni/bi-directional bandwidth, partitioned epoch latency) on the simulated
-// GH200 fabric — the standard sanity view of an MPI substrate.
+// GH200 fabric — the standard sanity view of an MPI substrate. The size
+// sweep executes through the parallel sweep runner.
 //
 // Usage:
 //
-//	osu -kind latency|bw|bibw|platency -inter -max 65536
+//	osu -kind latency|bw|bibw|platency -inter -max 65536 [-workers N | -seq]
 package main
 
 import (
@@ -14,15 +15,21 @@ import (
 
 	"mpipart/internal/bench"
 	"mpipart/internal/cluster"
+	"mpipart/internal/runner"
 )
 
 func main() {
 	var (
-		kind  = flag.String("kind", "latency", "latency | bw | bibw | platency")
-		inter = flag.Bool("inter", false, "inter-node instead of intra-node")
-		max   = flag.Int("max", 1<<16, "largest message size in elements (8 B each)")
+		kind    = flag.String("kind", "latency", "latency | bw | bibw | platency")
+		inter   = flag.Bool("inter", false, "inter-node instead of intra-node")
+		max     = flag.Int("max", 1<<16, "largest message size in elements (8 B each)")
+		workers = flag.Int("workers", 0, "parallel sweep workers; 0 = GOMAXPROCS")
+		seq     = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 	)
 	flag.Parse()
+	if *seq {
+		*workers = 1
+	}
 	topo, peer := cluster.OneNodeGH200(), 1
 	if *inter {
 		topo, peer = cluster.TwoNodeGH200(), 4
@@ -33,5 +40,5 @@ func main() {
 			os.Exit(1)
 		}
 	}()
-	bench.OSUTable(*kind, topo, peer, *max).Fprint(os.Stdout)
+	bench.RunJob(runner.New(*workers), bench.OSUJob(*kind, topo, peer, *max)).Fprint(os.Stdout)
 }

@@ -3,11 +3,12 @@
 // results move. The conclusions (GPU-initiated partitioned beats the
 // traditional model; Kernel Copy beats the Progression Engine intra-node)
 // should be robust across plausible hardware, not artifacts of one
-// parameter choice.
+// parameter choice. All (model point × measurement) worlds execute through
+// the parallel sweep runner.
 //
 // Usage:
 //
-//	sweep -param sync|launch|flaggap|nvlink|ib -grid 64
+//	sweep -param sync|launch|flaggap|nvlink|ib -grid 64 [-workers N | -seq]
 package main
 
 import (
@@ -18,15 +19,21 @@ import (
 	"mpipart/internal/bench"
 	"mpipart/internal/cluster"
 	"mpipart/internal/core"
+	"mpipart/internal/runner"
 	"mpipart/internal/sim"
 )
 
 func main() {
 	var (
-		param = flag.String("param", "sync", "parameter to sweep: sync | launch | flaggap | nvlink | ib")
-		grid  = flag.Int("grid", 64, "kernel grid size")
+		param   = flag.String("param", "sync", "parameter to sweep: sync | launch | flaggap | nvlink | ib")
+		grid    = flag.Int("grid", 64, "kernel grid size")
+		workers = flag.Int("workers", 0, "parallel sweep workers; 0 = GOMAXPROCS")
+		seq     = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 	)
 	flag.Parse()
+	if *seq {
+		*workers = 1
+	}
 
 	type point struct {
 		label string
@@ -79,20 +86,35 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("sensitivity of Fig. 4/5 headline speedups to %s (grid %d)\n\n", *param, *grid)
-	fmt.Printf("%-22s %14s %14s %14s\n", "model point", "PE intra (x)", "KC intra (x)", "PE inter (x)")
-	for _, pt := range points {
+	// Declare the five measurements of every model point, then execute the
+	// whole matrix through one runner call.
+	var rps []runner.Point
+	for pi, pt := range points {
 		model := cluster.DefaultModel()
 		pt.apply(&model)
-		intra := bench.P2PConfig{Topo: cluster.OneNodeGH200(), Receiver: 1, Grid: *grid, Parts: 1, Model: &model}
-		inter := bench.P2PConfig{Topo: cluster.TwoNodeGH200(), Receiver: 4, Grid: *grid, Parts: 2, Model: &model}
-		tr := bench.MeasureTraditional(intra)
-		pe := bench.MeasurePartitioned(intra, core.ProgressionEngine)
-		kc := bench.MeasurePartitioned(intra, core.KernelCopy)
-		trI := bench.MeasureTraditional(inter)
-		peI := bench.MeasurePartitioned(inter, core.ProgressionEngine)
-		fmt.Printf("%-22s %14.3f %14.3f %14.3f\n", pt.label,
-			float64(tr)/float64(pe), float64(tr)/float64(kc), float64(trI)/float64(peI))
+		m := model
+		intra := bench.P2PConfig{Topo: cluster.OneNodeGH200(), Receiver: 1, Grid: *grid, Parts: 1, Model: &m}
+		inter := bench.P2PConfig{Topo: cluster.TwoNodeGH200(), Receiver: 4, Grid: *grid, Parts: 2, Model: &m}
+		id := fmt.Sprintf("sweep/%s/%d", pt.label, pi)
+		rps = append(rps,
+			bench.TraditionalPoint(id+"/tr-intra", intra),
+			bench.PartitionedPoint(id+"/pe-intra", intra, core.ProgressionEngine),
+			bench.PartitionedPoint(id+"/kc-intra", intra, core.KernelCopy),
+			bench.TraditionalPoint(id+"/tr-inter", inter),
+			bench.PartitionedPoint(id+"/pe-inter", inter, core.ProgressionEngine),
+		)
+	}
+	ms := runner.New(*workers).Run(rps)
+
+	fmt.Printf("sensitivity of Fig. 4/5 headline speedups to %s (grid %d)\n\n", *param, *grid)
+	fmt.Printf("%-22s %14s %14s %14s\n", "model point", "PE intra (x)", "KC intra (x)", "PE inter (x)")
+	for pi, pt := range points {
+		tr := ms[5*pi]["elapsed_ns"]
+		pe := ms[5*pi+1]["elapsed_ns"]
+		kc := ms[5*pi+2]["elapsed_ns"]
+		trI := ms[5*pi+3]["elapsed_ns"]
+		peI := ms[5*pi+4]["elapsed_ns"]
+		fmt.Printf("%-22s %14.3f %14.3f %14.3f\n", pt.label, tr/pe, tr/kc, trI/peI)
 	}
 	fmt.Println("\nrobust if the ordering (KC > PE > 1.0) holds at every point")
 }

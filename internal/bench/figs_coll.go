@@ -7,6 +7,7 @@ import (
 	"mpipart/internal/gpu"
 	"mpipart/internal/mpi"
 	"mpipart/internal/nccl"
+	"mpipart/internal/runner"
 	"mpipart/internal/sim"
 )
 
@@ -16,6 +17,36 @@ type AllreduceConfig struct {
 	Grid int
 	// UserParts is the partitioned variant's user partition count.
 	UserParts int
+	// Model overrides the calibrated defaults (nil = DefaultModel); the
+	// benchgate perturbation tests use it.
+	Model *cluster.Model
+}
+
+// model resolves the config's model.
+func (c AllreduceConfig) model() cluster.Model {
+	if c.Model != nil {
+		return *c.Model
+	}
+	return cluster.DefaultModel()
+}
+
+// MPIAllreducePoint declares a MeasureMPIAllreduce run (UserParts is
+// excluded from the key: the traditional path has no partitions).
+func MPIAllreducePoint(id string, cfg AllreduceConfig) runner.Point {
+	key := runner.KeyOf("coll/mpi", cfg.Topo, cfg.model(), cfg.Grid)
+	return elapsedPoint(id, key, func() float64 { return float64(MeasureMPIAllreduce(cfg)) })
+}
+
+// PartitionedAllreducePoint declares a MeasurePartitionedAllreduce run.
+func PartitionedAllreducePoint(id string, cfg AllreduceConfig) runner.Point {
+	key := runner.KeyOf("coll/partitioned", cfg.Topo, cfg.model(), cfg.Grid, cfg.UserParts)
+	return elapsedPoint(id, key, func() float64 { return float64(MeasurePartitionedAllreduce(cfg)) })
+}
+
+// NCCLAllreducePoint declares a MeasureNCCLAllreduce run.
+func NCCLAllreducePoint(id string, cfg AllreduceConfig) runner.Point {
+	key := runner.KeyOf("coll/nccl", cfg.Topo, cfg.model(), cfg.Grid)
+	return elapsedPoint(id, key, func() float64 { return float64(MeasureNCCLAllreduce(cfg)) })
 }
 
 // MeasureMPIAllreduce times the traditional model: vector-add kernel →
@@ -24,7 +55,7 @@ type AllreduceConfig struct {
 // slowest rank.
 func MeasureMPIAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
-	w := mpi.NewWorld(cfg.Topo, cluster.DefaultModel(), 1)
+	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
 	n := cfg.Grid * 1024
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -52,7 +83,7 @@ func MeasureMPIAllreduce(cfg AllreduceConfig) sim.Duration {
 // the Section VI-B micro-benchmarks.
 func MeasurePartitionedAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
-	w := mpi.NewWorld(cfg.Topo, cluster.DefaultModel(), 1)
+	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
 	n := cfg.Grid * 1024
 	up := cfg.UserParts
 	if up <= 0 {
@@ -104,7 +135,7 @@ func MeasurePartitionedAllreduce(cfg AllreduceConfig) sim.Duration {
 // the stream → one cudaStreamSynchronize.
 func MeasureNCCLAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
-	w := mpi.NewWorld(cfg.Topo, cluster.DefaultModel(), 1)
+	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
 	comm := nccl.NewComm(w)
 	n := cfg.Grid * 1024
 	w.Spawn(func(r *mpi.Rank) {
@@ -126,47 +157,73 @@ func MeasureNCCLAllreduce(cfg AllreduceConfig) sim.Duration {
 	return elapsed
 }
 
-func allreduceFigure(title string, topo cluster.Topology, maxGrid int) *Table {
-	tb := &Table{
-		Title: title,
-		Columns: []string{"grid", "MiB", "mpi_allreduce_us", "partitioned_us", "nccl_us",
-			"mpi/part", "part-nccl_us"},
-	}
+// allreduceGrids returns the Fig. 6/7 sweep grids: the paper evaluates
+// large grids for the ring algorithm.
+func allreduceGrids(maxGrid int) []int {
+	var gs []int
 	for _, g := range gridSweep(maxGrid) {
-		if g < 128 {
-			continue // the paper evaluates large grids for the ring algorithm
+		if g >= 128 {
+			gs = append(gs, g)
 		}
+	}
+	return gs
+}
+
+func allreduceJob(name, title string, topo cluster.Topology, maxGrid int) Job {
+	grids := allreduceGrids(maxGrid)
+	var points []runner.Point
+	for _, g := range grids {
 		cfg := AllreduceConfig{Topo: topo, Grid: g, UserParts: 4}
-		tr := MeasureMPIAllreduce(cfg)
-		pa := MeasurePartitionedAllreduce(cfg)
-		nc := MeasureNCCLAllreduce(cfg)
-		tb.AddRow(g, float64(bytesOf(g))/(1<<20), tr.Micros(), pa.Micros(), nc.Micros(),
-			float64(tr)/float64(pa), (pa - nc).Micros())
+		id := name + "/g=" + itoa(g)
+		points = append(points,
+			MPIAllreducePoint(id+"/mpi", cfg),
+			PartitionedAllreducePoint(id+"/partitioned", cfg),
+			NCCLAllreducePoint(id+"/nccl", cfg),
+		)
 	}
-	tb.Note("paper: partitioned is orders of magnitude below MPI_Allreduce; NCCL leads partitioned (~226us at 1K grids) because its per-step reductions are fused (no launch+streamSync inside the collective)")
-	return tb
+	return Job{
+		Name:   name,
+		Points: points,
+		Build: func(ms []runner.Metrics) *Table {
+			tb := &Table{
+				Title: title,
+				Columns: []string{"grid", "MiB", "mpi_allreduce_us", "partitioned_us", "nccl_us",
+					"mpi/part", "part-nccl_us"},
+			}
+			for i, g := range grids {
+				tr := ms[3*i]["elapsed_ns"]
+				pa := ms[3*i+1]["elapsed_ns"]
+				nc := ms[3*i+2]["elapsed_ns"]
+				tb.AddRow(g, float64(bytesOf(g))/(1<<20), tr/1000, pa/1000, nc/1000,
+					tr/pa, (pa-nc)/1000)
+			}
+			tb.Note("paper: partitioned is orders of magnitude below MPI_Allreduce; NCCL leads partitioned (~226us at 1K grids) because its per-step reductions are fused (no launch+streamSync inside the collective)")
+			return tb
+		},
+	}
 }
 
-// Fig6 regenerates Figure 6: allreduce on four GH200 (one node).
-func Fig6(maxGrid int) *Table {
-	return allreduceFigure("Fig. 6: allreduce, four GH200 on one node", cluster.OneNodeGH200(), maxGrid)
+// Fig6Job declares Figure 6: allreduce on four GH200 (one node).
+func Fig6Job(maxGrid int) Job {
+	return allreduceJob("fig6", "Fig. 6: allreduce, four GH200 on one node", cluster.OneNodeGH200(), maxGrid)
 }
 
-// Fig7 regenerates Figure 7: allreduce on eight GH200 (two nodes, ranks
+// Fig6 regenerates Figure 6 through the shared parallel runner.
+func Fig6(maxGrid int) *Table { return RunJob(defaultRunner, Fig6Job(maxGrid)) }
+
+// Fig7Job declares Figure 7: allreduce on eight GH200 (two nodes, ranks
 // 0-3 and 4-7 per node so ring neighbours are placed optimally).
-func Fig7(maxGrid int) *Table {
-	return allreduceFigure("Fig. 7: allreduce, eight GH200 on two nodes", cluster.TwoNodeGH200(), maxGrid)
+func Fig7Job(maxGrid int) Job {
+	return allreduceJob("fig7", "Fig. 7: allreduce, eight GH200 on two nodes", cluster.TwoNodeGH200(), maxGrid)
 }
 
-// TableI regenerates Table I: the overheads of the partitioned API calls
-// over 100 epochs on the two-node testbed topology.
-func TableI() *Table {
-	tb := &Table{
-		Title:   "Table I: overheads of partitioned API calls",
-		Columns: []string{"call", "measured_us", "paper_us"},
-	}
-	var initSend, initColl, prequest, prepFirst, prepAvg sim.Duration
-	w := mpi.NewWorld(cluster.OneNodeGH200(), cluster.DefaultModel(), 1)
+// Fig7 regenerates Figure 7 through the shared parallel runner.
+func Fig7(maxGrid int) *Table { return RunJob(defaultRunner, Fig7Job(maxGrid)) }
+
+// tableIMeasure runs the Table I world once and returns the five measured
+// overheads.
+func tableIMeasure(model cluster.Model) (initSend, initColl, prequest, prepFirst, prepAvg sim.Duration) {
+	w := mpi.NewWorld(cluster.OneNodeGH200(), model, 1)
 	const epochs = 100
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -224,11 +281,49 @@ func TableI() *Table {
 	if err := w.Run(); err != nil {
 		panic(err)
 	}
-	tb.AddRow("MPI_PSend/Recv_init", initSend.Micros(), "17.2 ± 10.2")
-	tb.AddRow("MPIX_Pallreduce_init", initColl.Micros(), "62.3 ± 6.2")
-	tb.AddRow("MPIX_Prequest_create", prequest.Micros(), "110.7 ± 37.8")
-	tb.AddRow("MPIX_Pbuf_prepare (first)", prepFirst.Micros(), "193.4")
-	tb.AddRow("MPIX_Pbuf_prepare (avg subsequent)", prepAvg.Micros(), "3.4 ± 1.4")
-	tb.Note("deterministic simulation: no run-to-run variance (paper reports std over 10 samples)")
-	return tb
+	return
 }
+
+// TableIPoint declares the Table I overhead measurement (one world).
+func TableIPoint(id string, model cluster.Model) runner.Point {
+	return runner.Point{
+		ID:  id,
+		Key: runner.KeyOf("tableI", cluster.OneNodeGH200(), model),
+		Run: func() runner.Metrics {
+			initSend, initColl, prequest, prepFirst, prepAvg := tableIMeasure(model)
+			return runner.Metrics{
+				"init_send_ns":  float64(initSend),
+				"init_coll_ns":  float64(initColl),
+				"prequest_ns":   float64(prequest),
+				"prep_first_ns": float64(prepFirst),
+				"prep_avg_ns":   float64(prepAvg),
+			}
+		},
+	}
+}
+
+// TableIJob declares Table I: the overheads of the partitioned API calls
+// over 100 epochs on the testbed topology.
+func TableIJob() Job {
+	return Job{
+		Name:   "table1",
+		Points: []runner.Point{TableIPoint("table1/overheads", cluster.DefaultModel())},
+		Build: func(ms []runner.Metrics) *Table {
+			tb := &Table{
+				Title:   "Table I: overheads of partitioned API calls",
+				Columns: []string{"call", "measured_us", "paper_us"},
+			}
+			m := ms[0]
+			tb.AddRow("MPI_PSend/Recv_init", m["init_send_ns"]/1000, "17.2 ± 10.2")
+			tb.AddRow("MPIX_Pallreduce_init", m["init_coll_ns"]/1000, "62.3 ± 6.2")
+			tb.AddRow("MPIX_Prequest_create", m["prequest_ns"]/1000, "110.7 ± 37.8")
+			tb.AddRow("MPIX_Pbuf_prepare (first)", m["prep_first_ns"]/1000, "193.4")
+			tb.AddRow("MPIX_Pbuf_prepare (avg subsequent)", m["prep_avg_ns"]/1000, "3.4 ± 1.4")
+			tb.Note("deterministic simulation: no run-to-run variance (paper reports std over 10 samples)")
+			return tb
+		},
+	}
+}
+
+// TableI regenerates Table I through the shared parallel runner.
+func TableI() *Table { return RunJob(defaultRunner, TableIJob()) }

@@ -8,6 +8,7 @@ import (
 	"mpipart/internal/gpu"
 	"mpipart/internal/jacobi"
 	"mpipart/internal/mpi"
+	"mpipart/internal/runner"
 	"mpipart/internal/sim"
 )
 
@@ -28,6 +29,8 @@ type HaloConfig struct {
 	ComputeBlocks int
 	// Iters is the number of exchange iterations measured.
 	Iters int
+	// Model overrides the calibrated defaults (nil = DefaultModel).
+	Model *cluster.Model
 }
 
 func (c HaloConfig) withDefaults() HaloConfig {
@@ -38,6 +41,29 @@ func (c HaloConfig) withDefaults() HaloConfig {
 		c.ComputeBlocks = 64
 	}
 	return c
+}
+
+// model resolves the config's model.
+func (c HaloConfig) model() cluster.Model {
+	if c.Model != nil {
+		return *c.Model
+	}
+	return cluster.DefaultModel()
+}
+
+// HaloPoint declares one halo measurement; variant is "traditional" or
+// "partitioned".
+func HaloPoint(id string, cfg HaloConfig, variant string) runner.Point {
+	c := cfg.withDefaults()
+	key := runner.KeyOf("halo", c.Topo, c.model(), c.Elems, c.ComputeBlocks, c.Iters, variant)
+	switch variant {
+	case "traditional":
+		return elapsedPoint(id, key, func() float64 { return float64(MeasureHaloTraditional(cfg)) })
+	case "partitioned":
+		return elapsedPoint(id, key, func() float64 { return float64(MeasureHaloPartitioned(cfg)) })
+	default:
+		panic("bench: unknown halo variant " + variant)
+	}
 }
 
 // haloNeighbours returns rank r's four 2-D neighbours (or -1) under the
@@ -64,7 +90,7 @@ var haloOpposite = [4]int{1, 0, 3, 2}
 func MeasureHaloTraditional(cfg HaloConfig) sim.Duration {
 	cfg = cfg.withDefaults()
 	var elapsed sim.Duration
-	w := mpi.NewWorld(cfg.Topo, cluster.DefaultModel(), 1)
+	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
 	P := w.Size()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -115,7 +141,7 @@ func MeasureHaloTraditional(cfg HaloConfig) sim.Duration {
 func MeasureHaloPartitioned(cfg HaloConfig) sim.Duration {
 	cfg = cfg.withDefaults()
 	var elapsed sim.Duration
-	w := mpi.NewWorld(cfg.Topo, cluster.DefaultModel(), 1)
+	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
 	P := w.Size()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -186,19 +212,42 @@ func MeasureHaloPartitioned(cfg HaloConfig) sim.Duration {
 	return elapsed
 }
 
-// HaloTable sweeps halo sizes for both variants on the given topology.
-func HaloTable(topo cluster.Topology, maxElems int) *Table {
-	tb := &Table{
-		Title: fmt.Sprintf("halo-exchange micro-benchmark (%d GPUs, %d nodes; after ref. [16])",
-			topo.TotalGPUs(), topo.Nodes),
-		Columns: []string{"halo_KiB", "traditional_us", "partitioned_us", "speedup"},
-	}
+// HaloJob declares the halo-size sweep for both variants on the given
+// topology.
+func HaloJob(topo cluster.Topology, maxElems int) Job {
+	var points []runner.Point
+	var sizes []int
 	for n := 256; n <= maxElems; n *= 4 {
+		sizes = append(sizes, n)
 		cfg := HaloConfig{Topo: topo, Elems: n}
-		tr := MeasureHaloTraditional(cfg)
-		pa := MeasureHaloPartitioned(cfg)
-		tb.AddRow(float64(8*n)/1024, tr.Micros(), pa.Micros(), float64(tr)/float64(pa))
+		id := fmt.Sprintf("halo%d/n=%d", topo.Nodes, n)
+		points = append(points,
+			HaloPoint(id+"/traditional", cfg, "traditional"),
+			HaloPoint(id+"/partitioned", cfg, "partitioned"),
+		)
 	}
-	tb.Note("single transport partition per halo; device block-level Pready; no cudaStreamSynchronize in the partitioned variant")
-	return tb
+	return Job{
+		Name:   fmt.Sprintf("halo%d", topo.Nodes),
+		Points: points,
+		Build: func(ms []runner.Metrics) *Table {
+			tb := &Table{
+				Title: fmt.Sprintf("halo-exchange micro-benchmark (%d GPUs, %d nodes; after ref. [16])",
+					topo.TotalGPUs(), topo.Nodes),
+				Columns: []string{"halo_KiB", "traditional_us", "partitioned_us", "speedup"},
+			}
+			for i, n := range sizes {
+				tr := ms[2*i]["elapsed_ns"]
+				pa := ms[2*i+1]["elapsed_ns"]
+				tb.AddRow(float64(8*n)/1024, tr/1000, pa/1000, tr/pa)
+			}
+			tb.Note("single transport partition per halo; device block-level Pready; no cudaStreamSynchronize in the partitioned variant")
+			return tb
+		},
+	}
+}
+
+// HaloTable sweeps halo sizes for both variants through the shared
+// parallel runner.
+func HaloTable(topo cluster.Topology, maxElems int) *Table {
+	return RunJob(defaultRunner, HaloJob(topo, maxElems))
 }

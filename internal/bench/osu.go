@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"fmt"
+
 	"mpipart/internal/cluster"
 	"mpipart/internal/core"
 	"mpipart/internal/mpi"
+	"mpipart/internal/runner"
 	"mpipart/internal/sim"
 )
 
@@ -199,32 +202,72 @@ func PartitionedLatency(topo cluster.Topology, peer, n, parts, iters int) sim.Du
 	return total
 }
 
-// OSUTable runs the classic size sweep for one metric.
-func OSUTable(kind string, topo cluster.Topology, peer, maxElems int) *Table {
-	tb := &Table{Title: "osu_" + kind, Columns: []string{"bytes", "value"}}
+// OSUPoint declares one OSU measurement of the given kind at message size
+// n (elements). Metric "value" carries the kind's natural unit: virtual
+// nanoseconds for latency/platency, GB/s for bw/bibw.
+func OSUPoint(id, kind string, topo cluster.Topology, peer, n int) runner.Point {
+	model := cluster.DefaultModel()
+	key := runner.KeyOf("osu/"+kind, topo, model, peer, n)
+	var measure func() float64
 	switch kind {
 	case "latency":
-		tb.Columns = []string{"bytes", "latency_us"}
-		for n := 1; n <= maxElems; n *= 4 {
-			tb.AddRow(8*n, Pingpong(topo, peer, n, 10).Micros())
-		}
+		measure = func() float64 { return float64(Pingpong(topo, peer, n, 10)) }
 	case "bw":
-		tb.Columns = []string{"bytes", "GBps"}
-		for n := 1; n <= maxElems; n *= 4 {
-			tb.AddRow(8*n, Bandwidth(topo, peer, n, 16, 4))
-		}
+		measure = func() float64 { return Bandwidth(topo, peer, n, 16, 4) }
 	case "bibw":
-		tb.Columns = []string{"bytes", "GBps"}
-		for n := 1; n <= maxElems; n *= 4 {
-			tb.AddRow(8*n, BiBandwidth(topo, peer, n, 16, 4))
-		}
+		measure = func() float64 { return BiBandwidth(topo, peer, n, 16, 4) }
 	case "platency":
-		tb.Columns = []string{"bytes", "epoch_us"}
-		for n := 4; n <= maxElems; n *= 4 {
-			tb.AddRow(8*n, PartitionedLatency(topo, peer, n, 4, 10).Micros())
-		}
+		measure = func() float64 { return float64(PartitionedLatency(topo, peer, n, 4, 10)) }
 	default:
 		panic("bench: unknown OSU kind " + kind)
 	}
-	return tb
+	return runner.Point{ID: id, Key: key, Run: func() runner.Metrics {
+		return runner.Metrics{"value": measure()}
+	}}
+}
+
+// OSUJob declares the classic size sweep for one metric.
+func OSUJob(kind string, topo cluster.Topology, peer, maxElems int) Job {
+	var cols []string
+	nsValue := false // "value" is virtual ns (printed as µs) vs a raw rate
+	minElems := 1
+	switch kind {
+	case "latency":
+		cols, nsValue = []string{"bytes", "latency_us"}, true
+	case "bw":
+		cols = []string{"bytes", "GBps"}
+	case "bibw":
+		cols = []string{"bytes", "GBps"}
+	case "platency":
+		cols, nsValue, minElems = []string{"bytes", "epoch_us"}, true, 4
+	default:
+		panic("bench: unknown OSU kind " + kind)
+	}
+	var points []runner.Point
+	var sizes []int
+	for n := minElems; n <= maxElems; n *= 4 {
+		sizes = append(sizes, n)
+		points = append(points, OSUPoint(fmt.Sprintf("osu_%s/n=%d", kind, n), kind, topo, peer, n))
+	}
+	return Job{
+		Name:   "osu_" + kind,
+		Points: points,
+		Build: func(ms []runner.Metrics) *Table {
+			tb := &Table{Title: "osu_" + kind, Columns: cols}
+			for i, n := range sizes {
+				v := ms[i]["value"]
+				if nsValue {
+					v /= 1000
+				}
+				tb.AddRow(8*n, v)
+			}
+			return tb
+		},
+	}
+}
+
+// OSUTable runs the classic size sweep for one metric through the shared
+// parallel runner.
+func OSUTable(kind string, topo cluster.Topology, peer, maxElems int) *Table {
+	return RunJob(defaultRunner, OSUJob(kind, topo, peer, maxElems))
 }

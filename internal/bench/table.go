@@ -8,8 +8,12 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
+
+// itoa abbreviates strconv.Itoa for the point-ID builders.
+func itoa(n int) string { return strconv.Itoa(n) }
 
 // Table is a printable result set for one figure or table.
 type Table struct {

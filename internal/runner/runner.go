@@ -1,0 +1,211 @@
+// Package runner executes independent simulated-world configurations in
+// parallel. Every figure and table of the paper's evaluation is a sweep of
+// self-contained deterministic simulations; the runner fans those points out
+// over a bounded worker pool, collects their virtual-time metrics in
+// declaration order regardless of completion order, and memoizes results
+// keyed by a hash of the full experiment configuration (topology, cost
+// model, parameters) so points shared between figures are computed once.
+//
+// Because each point is a closed deterministic simulation (internal/sim
+// guarantees the same program produces the same virtual-time trace), running
+// points concurrently or out of order cannot change any result — the runner
+// is free to reorder and cache aggressively while the output stays
+// byte-identical to a sequential sweep.
+//
+// The runner itself is host-side orchestration and deliberately lives
+// outside the sim-driven package set: it uses real goroutines and real
+// synchronization, never the virtual clock.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Metrics is the result of one executed point: named metrics in their
+// canonical units. Virtual-time durations are stored as nanoseconds
+// (exactly representable: every sim.Duration in the reproduction is far
+// below 2^53 ns), rates and derived figures in their natural unit. All
+// values are deterministic, so they can be compared exactly.
+type Metrics map[string]float64
+
+// Keys returns the metric names in sorted order (for stable reporting).
+func (m Metrics) Keys() []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Equal reports whether two metric sets are exactly identical.
+func (m Metrics) Equal(o Metrics) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for k, v := range m {
+		ov, ok := o[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Point is one unit of sweep work: a self-contained simulation whose
+// execution depends on nothing but its own closed-over configuration.
+type Point struct {
+	// ID names the point within a sweep (e.g. "fig4/g=64/kernel_copy").
+	// Golden baselines and diff reports key on it, so it must be unique
+	// within a run and stable across runs.
+	ID string
+	// Key is the memoization key, normally KeyOf over the full experiment
+	// configuration. Points with equal keys are assumed to produce equal
+	// metrics and are computed once per Runner. Empty disables memoization.
+	Key string
+	// Run executes the simulation and returns its metrics.
+	Run func() Metrics
+}
+
+// KeyOf derives a memoization key from the parts of an experiment
+// configuration. Parts are rendered with %#v, which is deterministic for
+// the value kinds used in configurations (structs in field order, scalars,
+// strings); callers must pass models and topologies by value, never by
+// pointer, so the key captures contents rather than addresses.
+func KeyOf(parts ...interface{}) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%#v\x00", p)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// cacheEntry is one memoized (possibly in-flight) computation.
+type cacheEntry struct {
+	done     chan struct{} // closed when the computation finishes
+	m        Metrics
+	panicked interface{} // non-nil if the computing point panicked
+}
+
+// Runner is a bounded worker pool with a cross-sweep memo cache. A Runner
+// may be reused across many Run calls; the cache persists and is safe for
+// concurrent use.
+type Runner struct {
+	workers int
+
+	mu     sync.Mutex
+	cache  map[string]*cacheEntry
+	hits   int
+	misses int
+}
+
+// New returns a Runner with the given worker count; workers <= 0 selects
+// GOMAXPROCS. New(1) is the sequential reference executor.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, cache: make(map[string]*cacheEntry)}
+}
+
+// Workers returns the pool size.
+func (r *Runner) Workers() int { return r.workers }
+
+// Stats returns the memo-cache hit/miss counters (a hit is a point that
+// reused another point's computation, including waiting on one in flight).
+func (r *Runner) Stats() (hits, misses int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// Run executes the points over the worker pool and returns their metrics
+// in point order, independent of completion order. If any point panics,
+// Run waits for the remaining in-flight points and re-panics with the
+// first failure, annotated with the point ID.
+func (r *Runner) Run(points []Point) []Metrics {
+	out := make([]Metrics, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	workers := r.workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		failMu   sync.Mutex
+		failed   bool
+		failID   string
+		failInfo interface{}
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func(p Point) {
+					defer func() {
+						if rec := recover(); rec != nil {
+							failMu.Lock()
+							if !failed {
+								failed, failID, failInfo = true, p.ID, rec
+							}
+							failMu.Unlock()
+						}
+					}()
+					out[i] = r.exec(p)
+				}(points[i])
+			}
+		}()
+	}
+	for i := range points {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if failed {
+		panic(fmt.Sprintf("runner: point %s: %v", failID, failInfo))
+	}
+	return out
+}
+
+// exec runs one point through the memo cache. The first point to claim a
+// key computes it; concurrent points with the same key wait for that
+// computation instead of repeating it.
+func (r *Runner) exec(p Point) Metrics {
+	if p.Key == "" {
+		return p.Run()
+	}
+	r.mu.Lock()
+	if e, ok := r.cache[p.Key]; ok {
+		r.hits++
+		r.mu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.m
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	r.cache[p.Key] = e
+	r.misses++
+	r.mu.Unlock()
+
+	defer close(e.done)
+	defer func() {
+		if rec := recover(); rec != nil {
+			e.panicked = rec
+			panic(rec)
+		}
+	}()
+	e.m = p.Run()
+	return e.m
+}

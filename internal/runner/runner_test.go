@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPreservesPointOrder(t *testing.T) {
+	const n = 64
+	points := make([]Point, n)
+	for i := range points {
+		i := i
+		points[i] = Point{
+			ID:  fmt.Sprintf("p%d", i),
+			Run: func() Metrics { return Metrics{"v": float64(i)} },
+		}
+	}
+	r := New(8)
+	out := r.Run(points)
+	if len(out) != n {
+		t.Fatalf("got %d results", len(out))
+	}
+	for i, m := range out {
+		if m["v"] != float64(i) {
+			t.Fatalf("result %d = %v, want %d", i, m["v"], i)
+		}
+	}
+}
+
+func TestRunSequentialAndParallelAgree(t *testing.T) {
+	mk := func() []Point {
+		points := make([]Point, 32)
+		for i := range points {
+			i := i
+			points[i] = Point{
+				ID:  fmt.Sprintf("p%d", i),
+				Key: KeyOf("agree", i%7), // collisions exercise the cache
+				Run: func() Metrics { return Metrics{"v": float64(i % 7)} },
+			}
+		}
+		return points
+	}
+	seq := New(1).Run(mk())
+	par := New(8).Run(mk())
+	for i := range seq {
+		if !seq[i].Equal(par[i]) {
+			t.Fatalf("result %d differs: %v vs %v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMemoizationComputesSharedKeysOnce(t *testing.T) {
+	var calls int32
+	points := make([]Point, 24)
+	for i := range points {
+		points[i] = Point{
+			ID:  fmt.Sprintf("p%d", i),
+			Key: KeyOf("shared", i%3),
+			Run: func() Metrics {
+				atomic.AddInt32(&calls, 1)
+				return Metrics{"one": 1}
+			},
+		}
+	}
+	r := New(8)
+	r.Run(points)
+	if calls != 3 {
+		t.Fatalf("computed %d times, want 3 (one per distinct key)", calls)
+	}
+	hits, misses := r.Stats()
+	if misses != 3 || hits != 21 {
+		t.Fatalf("stats = %d hits / %d misses, want 21/3", hits, misses)
+	}
+	// The cache persists across Run calls on the same Runner.
+	r.Run(points[:3])
+	if calls != 3 {
+		t.Fatalf("second Run recomputed: %d calls", calls)
+	}
+}
+
+func TestEmptyKeyDisablesMemoization(t *testing.T) {
+	var calls int32
+	p := Point{ID: "p", Run: func() Metrics {
+		atomic.AddInt32(&calls, 1)
+		return Metrics{}
+	}}
+	r := New(2)
+	r.Run([]Point{p, p, p})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestKeyOfDistinguishesConfigurations(t *testing.T) {
+	type topo struct{ Nodes, GPUs int }
+	a := KeyOf("p2p", topo{1, 4}, 64)
+	b := KeyOf("p2p", topo{2, 4}, 64)
+	c := KeyOf("p2p", topo{1, 4}, 128)
+	d := KeyOf("coll", topo{1, 4}, 64)
+	keys := map[string]bool{a: true, b: true, c: true, d: true}
+	if len(keys) != 4 {
+		t.Fatalf("keys collide: %v %v %v %v", a, b, c, d)
+	}
+	if again := KeyOf("p2p", topo{1, 4}, 64); again != a {
+		t.Fatalf("KeyOf not stable: %v vs %v", a, again)
+	}
+}
+
+func TestNewDefaultsAndSmallBatches(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(-3).Workers(); w < 1 {
+		t.Fatalf("negative workers = %d", w)
+	}
+	// More workers than points must not deadlock or drop results.
+	out := New(16).Run([]Point{{ID: "only", Run: func() Metrics { return Metrics{"v": 7} }}})
+	if len(out) != 1 || out[0]["v"] != 7 {
+		t.Fatalf("out = %v", out)
+	}
+	if got := New(4).Run(nil); len(got) != 0 {
+		t.Fatalf("nil points gave %v", got)
+	}
+}
+
+func TestPanicPropagatesWithPointID(t *testing.T) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("expected panic")
+		}
+		msg := fmt.Sprint(rec)
+		if !strings.Contains(msg, "boom-point") || !strings.Contains(msg, "boom-value") {
+			t.Fatalf("panic message %q lacks point ID or cause", msg)
+		}
+	}()
+	New(4).Run([]Point{
+		{ID: "fine", Run: func() Metrics { return Metrics{} }},
+		{ID: "boom-point", Run: func() Metrics { panic("boom-value") }},
+	})
+}
+
+func TestMetricsEqualAndKeys(t *testing.T) {
+	a := Metrics{"x": 1, "y": 2}
+	if !a.Equal(Metrics{"y": 2, "x": 1}) {
+		t.Fatal("equal maps reported unequal")
+	}
+	if a.Equal(Metrics{"x": 1}) || a.Equal(Metrics{"x": 1, "y": 3}) || a.Equal(Metrics{"x": 1, "z": 2}) {
+		t.Fatal("unequal maps reported equal")
+	}
+	ks := a.Keys()
+	if len(ks) != 2 || ks[0] != "x" || ks[1] != "y" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
