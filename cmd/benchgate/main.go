@@ -9,12 +9,19 @@
 // Host wall time is recorded in the golden for reference and only
 // thresholded (-wall-factor), never compared exactly.
 //
+// Every run also refreshes a host-performance sidecar (BENCH_PERF.json by
+// default, -perf ” disables): wall time, scheduler dispatches and
+// dispatches/sec. Unlike the golden it is informational — it is how kernel
+// perf work is measured without touching the gated virtual-time metrics.
+//
 // Usage:
 //
 //	benchgate -check BENCH_GOLDEN.json            # gate (default)
 //	benchgate -write BENCH_GOLDEN.json            # regenerate deliberately
 //	benchgate -check ... -report diff.txt         # also write the diff report
 //	benchgate -workers 8 | -seq                   # pool size (default GOMAXPROCS)
+//	benchgate -perf BENCH_PERF.json               # host-perf sidecar (default)
+//	benchgate -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,10 +29,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"mpipart/internal/bench"
 	"mpipart/internal/runner"
+	"mpipart/internal/sim"
 )
 
 func main() {
@@ -36,6 +45,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool size; 0 = GOMAXPROCS")
 		seq        = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 		wallFactor = flag.Float64("wall-factor", 10, "fail if host wall time exceeds this multiple of the golden's recorded wall time; 0 disables")
+		perf       = flag.String("perf", "BENCH_PERF.json", "write host-perf stats (wall time, dispatches/sec) to this file; '' disables")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the gate run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile taken after the gate run to this file")
 	)
 	flag.Parse()
 	if *write != "" && *check != "" {
@@ -53,16 +65,65 @@ func main() {
 		*workers = 1
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+
 	r := runner.New(*workers)
+	d0 := sim.TotalDispatched()
 	t0 := time.Now()
 	got := bench.CollectGolden(r, nil)
 	wall := time.Since(t0)
+	dispatches := sim.TotalDispatched() - d0
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 	got.Description = "golden virtual-time baselines for the tier-1 figure subset (cmd/benchgate)"
 	got.GOARCH = runtime.GOARCH
 	got.WallMS = wall.Milliseconds()
 	hits, misses := r.Stats()
 	fmt.Printf("benchgate: %d points (%d computed, %d memoized) in %.1fs on %d workers\n",
 		len(got.Points), misses, hits, wall.Seconds(), r.Workers())
+	fmt.Printf("benchgate: %d dispatches, %.0f dispatches/sec\n",
+		dispatches, float64(dispatches)/wall.Seconds())
+
+	if *perf != "" {
+		p := bench.Perf{
+			Schema:           bench.PerfSchema,
+			Description:      "host-side cost of the benchgate run (informational; the golden gates virtual time)",
+			GOARCH:           runtime.GOARCH,
+			Workers:          r.Workers(),
+			Points:           len(got.Points),
+			WallMS:           wall.Milliseconds(),
+			Dispatches:       dispatches,
+			DispatchesPerSec: float64(dispatches) / wall.Seconds(),
+		}
+		b, err := bench.EncodePerf(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*perf, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *write != "" {
 		b, err := bench.EncodeGolden(got)

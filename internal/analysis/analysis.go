@@ -101,6 +101,7 @@ func Analyzers() []*Analyzer {
 		LockedAwaitAnalyzer,
 		ErrcheckAnalyzer,
 		ExhaustiveAnalyzer,
+		HotPathAllocAnalyzer,
 	}
 }
 

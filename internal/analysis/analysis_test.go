@@ -32,8 +32,8 @@ func newTestLoader(t *testing.T) *Loader {
 type fixture struct {
 	name     string
 	analyzer string
-	pkgPath  string // declared import path (drives Match)
-	src      string // single-file package body
+	pkgPath  string   // declared import path (drives Match)
+	src      string   // single-file package body
 	want     []string // expected message substrings, in position order
 }
 
@@ -294,6 +294,58 @@ func ok(m Mech) int {
 }
 `,
 			want: []string{"switch over Mech misses constants DmaMech"},
+		},
+		{
+			name:     "hotpathalloc_bad",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/sim",
+			src: `package sim
+import "fmt"
+type Kernel struct{ name string }
+type ring[T any] struct{ buf []T }
+func (k *Kernel) ready(name string) {
+	_ = fmt.Sprintf("readying %s", name)
+	k.name = "proc:" + name
+	fn := func() {}
+	fn()
+}
+func (r *ring[T]) push(v T) {
+	fmt.Println(v)
+}
+func (k *Kernel) describe() string { return fmt.Sprintf("%s!", k.name) }
+`,
+			want: []string{
+				"fmt.Sprintf call in scheduler hot path Kernel.ready",
+				"string concatenation in scheduler hot path Kernel.ready",
+				"closure literal in scheduler hot path Kernel.ready",
+				"fmt.Println call in scheduler hot path ring.push",
+			},
+		},
+		{
+			name:     "hotpathalloc_cold_ok",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/sim",
+			src: `package sim
+import "fmt"
+type Proc struct{ name string }
+func (p *Proc) block(state int) {
+	if state < 0 {
+		panic("sim: bad state for " + p.name) // cold: panic message may format
+	}
+}
+func (p *Proc) String() string { return fmt.Sprintf("proc %s", p.name) }
+func NewProc(name string) *Proc { return &Proc{name: "proc:" + name} }
+`,
+		},
+		{
+			name:     "hotpathalloc_outside_sim_ok",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/gpu", // rule is scoped to internal/sim
+			src: `package gpu
+import "fmt"
+type Kernel struct{ name string }
+func (k *Kernel) ready(name string) { _ = fmt.Sprintf("%s", name) }
+`,
 		},
 	}
 

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The internal/sim scheduler keeps its steady state allocation-free (see the
+// "Scheduler internals" section of the sim package doc): every figure
+// reproduction bottoms out in Kernel.Run, so a stray fmt call, string
+// concatenation or closure literal in a per-dispatch function is a silent
+// performance regression that no unit test catches. hotpathalloc pins the
+// property statically for the designated hot-path functions.
+//
+// Cold paths are exempt: anything inside a panic(...) argument is a
+// diagnostic being built on the way down and may format freely. Lazy
+// diagnostics (blockReason.String, describeBlocked) and constructors are
+// simply not in the hot set.
+
+// hotPathFuncs designates the scheduler-path functions, keyed
+// "Receiver.Method" (receiver type name without pointer/type-parameters) or
+// bare name for plain functions. Kernel.Run and Kernel.Go are deliberately
+// absent: Run is the once-per-simulation entry whose loop delegates to
+// resume/dispatch, and Go is the spawn path, which allocates by design.
+var hotPathFuncs = map[string]bool{
+	"Kernel.At": true, "Kernel.After": true, "Kernel.nextSeq": true,
+	"Kernel.ready": true, "Kernel.resume": true, "Kernel.dispatch": true,
+	"Kernel.reap": true,
+	"Proc.Wait":   true, "Proc.WaitUntil": true, "Proc.Yield": true,
+	"Proc.block": true,
+	"Cond.Wait":  true, "Cond.WaitFor": true, "Cond.Signal": true,
+	"Cond.Broadcast": true, "Cond.Waiters": true,
+	"Gate.Wait": true, "Gate.Open": true,
+	"Counter.Add": true, "Counter.Set": true, "Counter.WaitAtLeast": true,
+	"Queue.Push": true, "Queue.Pop": true, "Queue.TryPop": true,
+	"Pipe.Transfer": true, "Pipe.TransferThen": true, "Pipe.serialize": true,
+	"eventHeap.push": true, "eventHeap.pop": true,
+	"ring.push": true, "ring.pop": true,
+}
+
+// HotPathAllocAnalyzer forbids per-call allocation sources — fmt calls,
+// string concatenation, closure literals — in the internal/sim scheduler
+// hot-path functions.
+var HotPathAllocAnalyzer = &Analyzer{
+	Name:      "hotpathalloc",
+	Doc:       "forbid fmt calls, string concatenation and closures in internal/sim scheduler hot-path functions",
+	SkipTests: true,
+	Match: func(pkgPath string) bool {
+		return strings.HasSuffix(pkgPath, "internal/sim")
+	},
+	Run: runHotPathAlloc,
+}
+
+// hotFuncKey renders a FuncDecl's lookup key: "Type.Method" with pointer and
+// generic type-parameter decoration stripped, or the bare function name.
+func hotFuncKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch u := t.(type) {
+		case *ast.StarExpr:
+			t = u.X
+		case *ast.IndexExpr: // generic receiver, e.g. ring[T]
+			t = u.X
+		case *ast.IndexListExpr:
+			t = u.X
+		case *ast.Ident:
+			return u.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
+		}
+	}
+}
+
+func runHotPathAlloc(pass *Pass) {
+	for _, f := range pass.Files() {
+		fmtName, hasFmt := importName(f.Ast, "fmt")
+		for _, decl := range f.Ast.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := hotFuncKey(fd)
+			if !hotPathFuncs[key] {
+				continue
+			}
+			checkHotBody(pass, fd, key, fmtName, hasFmt)
+		}
+	}
+}
+
+// checkHotBody walks one hot function, skipping panic(...) argument subtrees
+// (cold diagnostic construction) and reporting each allocation source.
+func checkHotBody(pass *Pass, fd *ast.FuncDecl, key, fmtName string, hasFmt bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := t.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+				return false // cold path: a panic message may format freely
+			}
+			if hasFmt {
+				if sel, ok := isPkgSel(t.Fun, fmtName); ok {
+					pass.Reportf(t.Pos(), "fmt.%s call in scheduler hot path %s: render diagnostics lazily (see blockReason)", sel, key)
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(t.Pos(), "closure literal in scheduler hot path %s: closures allocate per call; store values (e.g. the *Proc) instead", key)
+			return false // one report per closure, not per nested finding
+		case *ast.BinaryExpr:
+			if t.Op == token.ADD && (isStringExpr(pass, t.X) || isStringExpr(pass, t.Y)) {
+				pass.Reportf(t.Pos(), "string concatenation in scheduler hot path %s: build strings lazily outside the hot path", key)
+				return false // the operands need no separate reports
+			}
+		}
+		return true
+	})
+}
+
+// isStringExpr reports whether e has string type, using type information when
+// available and falling back to the literal's token kind.
+func isStringExpr(pass *Pass, e ast.Expr) bool {
+	if info := pass.Pkg.Info; info != nil {
+		if tv, ok := info.Types[e]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok {
+				return b.Info()&types.IsString != 0
+			}
+			return false
+		}
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}

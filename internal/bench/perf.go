@@ -1,0 +1,52 @@
+package bench
+
+import "encoding/json"
+
+// BENCH_PERF.json is the host-performance sidecar to BENCH_GOLDEN.json:
+// where the golden locks the *virtual-time* metrics exactly, the perf file
+// records how much *host* work a gate run cost — wall time, scheduler
+// dispatches, and dispatch throughput. It is informational (refreshed by
+// every cmd/benchgate run, never compared), so scheduler optimizations show
+// up as a reviewable delta in the committed file while the golden proves the
+// simulated results did not move.
+
+// PerfSchema versions the BENCH_PERF.json layout.
+const PerfSchema = 1
+
+// Perf is one gate run's host-side cost record.
+type Perf struct {
+	Schema      int    `json:"schema"`
+	Description string `json:"description,omitempty"`
+	GOARCH      string `json:"goarch,omitempty"`
+	// Workers is the runner pool size the gate ran on.
+	Workers int `json:"workers"`
+	// Points is the number of gate points executed.
+	Points int `json:"points"`
+	// WallMS is the host wall-clock duration of the gate run.
+	WallMS int64 `json:"wall_ms"`
+	// Dispatches counts scheduler dispatches (proc resumes + event
+	// callbacks) executed across every simulation kernel in the run, from
+	// sim.TotalDispatched.
+	Dispatches int64 `json:"dispatches"`
+	// DispatchesPerSec is Dispatches divided by the wall time — the
+	// events/sec figure the kernel microbenchmarks optimize for.
+	DispatchesPerSec float64 `json:"dispatches_per_sec"`
+}
+
+// EncodePerf renders a Perf as stable, human-diffable JSON.
+func EncodePerf(p Perf) ([]byte, error) {
+	b, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodePerf parses a BENCH_PERF.json payload.
+func DecodePerf(b []byte) (Perf, error) {
+	var p Perf
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Perf{}, err
+	}
+	return p, nil
+}

@@ -17,32 +17,38 @@ import (
 	"mpipart/internal/sim"
 )
 
-// Fabric owns all pipes of a simulated machine.
+// Fabric owns all pipes of a simulated machine. The pipe tables are flat
+// slices indexed by GPU (or node) id — Route runs once per simulated
+// transfer, and an array index beats a map hash on that path. Creation
+// stays lazy: a slot is filled (and its name formatted) on first use only.
 type Fabric struct {
 	K     *sim.Kernel
 	Model *cluster.Model
 	Topo  cluster.Topology
 
-	nvlink   map[[2]int]*sim.Pipe // directed intra-node GPU pair
-	nicOut   map[int]*sim.Pipe    // per-GPU NIC egress (inter-node)
-	hostDev  map[int]*sim.Pipe    // per-GPU host→device C2C bulk
-	devHost  map[int]*sim.Pipe    // per-GPU device→host C2C bulk
-	flagPipe map[int]*sim.Pipe    // per-GPU serialized device→host flag writes
-	loop     map[int]*sim.Pipe    // per-node host loopback (control messages)
+	nGPU     int
+	nvlink   []*sim.Pipe // directed intra-node GPU pair, src*nGPU+dst
+	nicOut   []*sim.Pipe // per-GPU NIC egress (inter-node)
+	hostDev  []*sim.Pipe // per-GPU host→device C2C bulk
+	devHost  []*sim.Pipe // per-GPU device→host C2C bulk
+	flagPipe []*sim.Pipe // per-GPU serialized device→host flag writes
+	loop     []*sim.Pipe // per-node host loopback (control messages)
 }
 
 // New creates a Fabric for the given machine.
 func New(k *sim.Kernel, m *cluster.Model, topo cluster.Topology) *Fabric {
+	n := topo.TotalGPUs()
 	return &Fabric{
 		K:        k,
 		Model:    m,
 		Topo:     topo,
-		nvlink:   make(map[[2]int]*sim.Pipe),
-		nicOut:   make(map[int]*sim.Pipe),
-		hostDev:  make(map[int]*sim.Pipe),
-		devHost:  make(map[int]*sim.Pipe),
-		flagPipe: make(map[int]*sim.Pipe),
-		loop:     make(map[int]*sim.Pipe),
+		nGPU:     n,
+		nvlink:   make([]*sim.Pipe, n*n),
+		nicOut:   make([]*sim.Pipe, n),
+		hostDev:  make([]*sim.Pipe, n),
+		devHost:  make([]*sim.Pipe, n),
+		flagPipe: make([]*sim.Pipe, n),
+		loop:     make([]*sim.Pipe, topo.Nodes),
 	}
 }
 
@@ -54,17 +60,17 @@ func (f *Fabric) Route(src, dst int) *sim.Pipe {
 		return f.local(src)
 	}
 	if f.Topo.SameNode(src, dst) {
-		key := [2]int{src, dst}
-		p, ok := f.nvlink[key]
-		if !ok {
+		key := src*f.nGPU + dst
+		p := f.nvlink[key]
+		if p == nil {
 			p = sim.NewPipe(f.K, fmt.Sprintf("nvlink-%d-%d", src, dst),
 				f.Model.NVLinkLatency, f.Model.NVLinkBytesPerSec)
 			f.nvlink[key] = p
 		}
 		return p
 	}
-	p, ok := f.nicOut[src]
-	if !ok {
+	p := f.nicOut[src]
+	if p == nil {
 		p = sim.NewPipe(f.K, fmt.Sprintf("ib-nic-%d", src),
 			f.Model.IBLatency, f.Model.IBBytesPerSec)
 		f.nicOut[src] = p
@@ -75,9 +81,9 @@ func (f *Fabric) Route(src, dst int) *sim.Pipe {
 // local returns a device-local pipe (HBM copy) for src==dst routes; it is
 // effectively instantaneous relative to inter-device paths.
 func (f *Fabric) local(g int) *sim.Pipe {
-	key := [2]int{g, g}
-	p, ok := f.nvlink[key]
-	if !ok {
+	key := g*f.nGPU + g
+	p := f.nvlink[key]
+	if p == nil {
 		p = sim.NewPipe(f.K, fmt.Sprintf("hbm-%d", g), sim.Nanoseconds(300), 3000e9)
 		f.nvlink[key] = p
 	}
@@ -86,8 +92,8 @@ func (f *Fabric) local(g int) *sim.Pipe {
 
 // HostToDevice returns GPU g's bulk host→device C2C pipe.
 func (f *Fabric) HostToDevice(g int) *sim.Pipe {
-	p, ok := f.hostDev[g]
-	if !ok {
+	p := f.hostDev[g]
+	if p == nil {
 		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-h2d-%d", g),
 			f.Model.C2CLatency, f.Model.C2CBytesPerSec)
 		f.hostDev[g] = p
@@ -97,8 +103,8 @@ func (f *Fabric) HostToDevice(g int) *sim.Pipe {
 
 // DeviceToHost returns GPU g's bulk device→host C2C pipe.
 func (f *Fabric) DeviceToHost(g int) *sim.Pipe {
-	p, ok := f.devHost[g]
-	if !ok {
+	p := f.devHost[g]
+	if p == nil {
 		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-d2h-%d", g),
 			f.Model.C2CLatency, f.Model.C2CBytesPerSec)
 		f.devHost[g] = p
@@ -111,8 +117,8 @@ func (f *Fabric) DeviceToHost(g int) *sim.Pipe {
 // payload size — this serialization is what makes thread-level MPIX_Pready
 // 271× more expensive than block-level (Fig. 3).
 func (f *Fabric) FlagWritePipe(g int) *sim.Pipe {
-	p, ok := f.flagPipe[g]
-	if !ok {
+	p := f.flagPipe[g]
+	if p == nil {
 		p = sim.NewPipe(f.K, fmt.Sprintf("c2c-flags-%d", g),
 			f.Model.HostFlagWriteLatency, 0)
 		p.PerOpOverhead = f.Model.HostFlagWriteGap
@@ -127,8 +133,8 @@ func (f *Fabric) FlagWritePipe(g int) *sim.Pipe {
 func (f *Fabric) ControlRoute(src, dst int) *sim.Pipe {
 	if f.Topo.SameNode(src, dst) {
 		n := f.Topo.NodeOf(src)
-		p, ok := f.loop[n]
-		if !ok {
+		p := f.loop[n]
+		if p == nil {
 			p = sim.NewPipe(f.K, fmt.Sprintf("shm-%d", n),
 				f.Model.HostLoopbackLatency, f.Model.ShmBytesPerSec)
 			f.loop[n] = p

@@ -17,10 +17,14 @@ type LinkStat struct {
 }
 
 // Stats returns the usage of every pipe created so far, sorted by name for
-// deterministic output.
+// deterministic output. The pipe tables are lazily-filled slices, so nil
+// slots (routes never taken) are skipped.
 func (f *Fabric) Stats() []LinkStat {
 	var out []LinkStat
 	add := func(p *sim.Pipe) {
+		if p == nil {
+			return
+		}
 		ops, bytes, busy := p.Stats()
 		out = append(out, LinkStat{Name: p.Name, Ops: ops, Bytes: bytes, Busy: busy})
 	}

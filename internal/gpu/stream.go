@@ -12,10 +12,11 @@ import (
 // asynchronous) and joins with Synchronize, which charges the paper's
 // 7.8 µs cudaStreamSynchronize cost.
 type Stream struct {
-	dev  *Device
-	name string
+	dev   *Device
+	name  string
+	track string // trace row name, cached (formatting it per span was hot)
 
-	q         *sim.Queue
+	q         *sim.Queue[*streamOp]
 	completed *sim.Counter
 	enqueued  int
 	proc      *sim.Proc
@@ -33,7 +34,8 @@ func (d *Device) NewStream(name string) *Stream {
 	s := &Stream{
 		dev:       d,
 		name:      name,
-		q:         sim.NewQueue(d.K, fmt.Sprintf("stream:%s@gpu%d", name, d.ID)),
+		track:     fmt.Sprintf("gpu%d/%s", d.ID, name),
+		q:         sim.NewQueue[*streamOp](d.K, fmt.Sprintf("stream:%s@gpu%d", name, d.ID)),
 		completed: sim.NewCounter(d.K, fmt.Sprintf("stream-done:%s@gpu%d", name, d.ID)),
 	}
 	s.proc = d.K.GoDaemon(fmt.Sprintf("stream:%s@gpu%d", name, d.ID), s.serve)
@@ -75,12 +77,12 @@ func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Gate {
 // serve is the stream daemon: pop, execute, complete, forever.
 func (s *Stream) serve(p *sim.Proc) {
 	for {
-		op := s.q.Pop(p).(*streamOp)
+		op := s.q.Pop(p)
 		if op.fn != nil {
 			p.Wait(s.dev.M.KernelLaunchCost)
 			t0 := p.Now()
 			op.fn(p)
-			s.dev.K.Tracer().Span(s.track(), op.name, t0, p.Now())
+			s.dev.K.Tracer().Span(s.track, op.name, t0, p.Now())
 		} else {
 			s.execute(p, op.spec)
 		}
@@ -99,9 +101,13 @@ func (s *Stream) execute(p *sim.Proc, spec *KernelSpec) {
 	p.Wait(m.KernelLaunchCost)
 	kstart := p.Now()
 	defer func() {
-		s.dev.K.Tracer().Span(s.track(), spec.Name, kstart, p.Now(),
-			sim.TraceKV{K: "grid", V: fmt.Sprint(spec.Grid)},
-			sim.TraceKV{K: "block", V: fmt.Sprint(spec.Block)})
+		// Build the span args only when a tracer is attached: formatting the
+		// geometry on every launch showed up in untraced benchmark runs.
+		if tr := s.dev.K.Tracer(); tr != nil {
+			tr.Span(s.track, spec.Name, kstart, p.Now(),
+				sim.TraceKV{K: "grid", V: fmt.Sprint(spec.Grid)},
+				sim.TraceKV{K: "block", V: fmt.Sprint(spec.Block)})
+		}
 	}()
 	wave := spec.WaveTime
 	if wave == 0 {
@@ -147,10 +153,5 @@ func (s *Stream) Synchronize(p *sim.Proc) {
 	t0 := p.Now()
 	s.WaitIdle(p)
 	p.Wait(s.dev.M.StreamSyncCost)
-	s.dev.K.Tracer().Span(s.track(), "streamSynchronize", t0, p.Now())
-}
-
-// track names this stream's trace row.
-func (s *Stream) track() string {
-	return fmt.Sprintf("gpu%d/%s", s.dev.ID, s.name)
+	s.dev.K.Tracer().Span(s.track, "streamSynchronize", t0, p.Now())
 }

@@ -8,10 +8,14 @@ import "fmt"
 // single-threaded in virtual time, so state inspected before Wait cannot be
 // mutated concurrently — only by other procs after control is yielded, which
 // is exactly the standard "re-check the predicate in a loop" contract.
+//
+// The waiter list is a ring buffer: Signal dequeues in O(1) instead of the
+// previous copy-on-pop O(n), and Wait records only a typed block reason
+// (no per-wait string formatting).
 type Cond struct {
 	k       *Kernel
 	name    string
-	waiters []*Proc
+	waiters ring[*Proc]
 }
 
 // NewCond creates a condition variable attached to k. The name appears in
@@ -24,8 +28,8 @@ func NewCond(k *Kernel, name string) *Cond {
 // Broadcast. As with any condition variable, callers must re-check their
 // predicate after waking.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
-	p.block(stateBlocked, "cond:"+c.name)
+	c.waiters.push(p)
+	p.block(stateBlocked, blockReason{kind: blockCond, name: c.name})
 }
 
 // WaitFor blocks p until pred() is true, re-checking every time the Cond is
@@ -38,26 +42,21 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 
 // Signal wakes the longest-waiting proc, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.empty() {
 		return
 	}
-	p := c.waiters[0]
-	copy(c.waiters, c.waiters[1:])
-	c.waiters = c.waiters[:len(c.waiters)-1]
-	c.k.ready(p)
+	c.k.ready(c.waiters.pop())
 }
 
 // Broadcast wakes every waiting proc in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
-		c.k.ready(p)
+	for !c.waiters.empty() {
+		c.k.ready(c.waiters.pop())
 	}
 }
 
 // Waiters reports how many procs are parked on the Cond.
-func (c *Cond) Waiters() int { return len(c.waiters) }
+func (c *Cond) Waiters() int { return c.waiters.len() }
 
 // Gate is a one-shot latch: procs Wait until Open is called, after which all
 // current and future waiters pass immediately. It models "ready to receive"
@@ -125,52 +124,46 @@ func (c *Counter) WaitAtLeast(p *Proc, target int) {
 	}
 }
 
-// Queue is an unbounded FIFO in virtual time. Pop blocks until an item is
-// available. It models stream FIFOs and message queues.
-type Queue struct {
+// Queue is an unbounded typed FIFO in virtual time. Pop blocks until an item
+// is available. It models stream FIFOs and message queues. The payload ring
+// makes Push/Pop O(1), and the type parameter removes the interface{}
+// boxing (and the caller-side type assertions) of the previous design.
+type Queue[T any] struct {
 	cond  *Cond
-	items []interface{}
+	items ring[T]
 	name  string
 }
 
 // NewQueue creates an empty Queue.
-func NewQueue(k *Kernel, name string) *Queue {
-	return &Queue{cond: NewCond(k, "queue:"+name), name: name}
+func NewQueue[T any](k *Kernel, name string) *Queue[T] {
+	return &Queue[T]{cond: NewCond(k, "queue:"+name), name: name}
 }
 
 // Push appends an item and wakes one waiter.
-func (q *Queue) Push(v interface{}) {
-	q.items = append(q.items, v)
+func (q *Queue[T]) Push(v T) {
+	q.items.push(v)
 	q.cond.Signal()
 }
 
 // Pop removes and returns the oldest item, blocking p until one exists.
-func (q *Queue) Pop(p *Proc) interface{} {
-	for len(q.items) == 0 {
+func (q *Queue[T]) Pop(p *Proc) T {
+	for q.items.empty() {
 		q.cond.Wait(p)
 	}
-	v := q.items[0]
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = nil
-	q.items = q.items[:len(q.items)-1]
-	return v
+	return q.items.pop()
 }
 
 // TryPop removes and returns the oldest item without blocking; ok is false
 // if the queue is empty.
-func (q *Queue) TryPop() (v interface{}, ok bool) {
-	if len(q.items) == 0 {
-		return nil, false
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if q.items.empty() {
+		return v, false
 	}
-	v = q.items[0]
-	copy(q.items, q.items[1:])
-	q.items[len(q.items)-1] = nil
-	q.items = q.items[:len(q.items)-1]
-	return v, true
+	return q.items.pop(), true
 }
 
 // Len reports the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // String implements fmt.Stringer for diagnostics.
-func (q *Queue) String() string { return fmt.Sprintf("queue:%s(len=%d)", q.name, len(q.items)) }
+func (q *Queue[T]) String() string { return fmt.Sprintf("queue:%s(len=%d)", q.name, q.items.len()) }

@@ -1,0 +1,128 @@
+package sim
+
+// Wake-order contract tests for the ring-buffer Cond and the Queue/Pipe
+// combination under the optimized scheduler. The FIFO guarantees here are
+// load-bearing: rank progression and partition-arrival ordering in the MPI
+// layers depend on Signal waking the longest waiter and Broadcast preserving
+// park order.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCondWakeOrderMatchesFIFOModel drives a Cond with a random mix of
+// Signal and Broadcast and checks every wake against a reference FIFO queue
+// model: Signal wakes the head (which re-parks at the tail), Broadcast wakes
+// everyone in park order (and they re-park in the same order).
+func TestCondWakeOrderMatchesFIFOModel(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		c := NewCond(k, "fifo")
+		const nWaiters = 8
+		var woke []int
+		done := false
+		for i := 0; i < nWaiters; i++ {
+			i := i
+			k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				for !done {
+					c.Wait(p)
+					if !done {
+						woke = append(woke, i)
+					}
+				}
+			})
+		}
+		var wantWoke []int
+		k.Go("driver", func(p *Proc) {
+			p.Wait(1) // all waiters are parked, in spawn order
+			model := make([]int, 0, nWaiters)
+			for i := 0; i < nWaiters; i++ {
+				model = append(model, i)
+			}
+			for round := 0; round < 200; round++ {
+				if rng.Intn(2) == 0 {
+					head := model[0]
+					model = append(model[1:], head)
+					wantWoke = append(wantWoke, head)
+					c.Signal()
+				} else {
+					wantWoke = append(wantWoke, model...)
+					c.Broadcast() // all re-park in the same order
+				}
+				p.Wait(1) // let the woken procs run and re-park
+			}
+			done = true
+			c.Broadcast()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(woke) != len(wantWoke) {
+			t.Fatalf("seed %d: %d wakes, want %d", seed, len(woke), len(wantWoke))
+		}
+		for i := range woke {
+			if woke[i] != wantWoke[i] {
+				t.Fatalf("seed %d: wake %d was w%d, want w%d (FIFO violated)",
+					seed, i, woke[i], wantWoke[i])
+			}
+		}
+	}
+}
+
+// TestPipeUnderQueueFanIn funnels transfers from several producers through a
+// typed Queue into one consumer driving a Pipe: deliveries must serialize in
+// queue order and the pipe stats must account for every transfer exactly
+// once, regardless of how producer timers interleave.
+func TestPipeUnderQueueFanIn(t *testing.T) {
+	k := NewKernel(3)
+	q := NewQueue[int64](k, "work")
+	pipe := NewPipe(k, "link", 50, 1e9)
+	pipe.PerOpOverhead = 5
+	const producers, perProducer = 4, 25
+	var sent int64
+	for i := 0; i < producers; i++ {
+		i := i
+		k.Go(fmt.Sprintf("prod%d", i), func(p *Proc) {
+			for j := 0; j < perProducer; j++ {
+				size := int64(100 + 10*i + j)
+				sent += size
+				q.Push(size)
+				p.Wait(Duration(7 * (i + 1)))
+			}
+		})
+	}
+	var deliveries []Time
+	k.GoDaemon("consumer", func(p *Proc) {
+		for {
+			size := q.Pop(p)
+			deliveries = append(deliveries, pipe.Transfer(size))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(deliveries) != producers*perProducer {
+		t.Fatalf("%d deliveries, want %d", len(deliveries), producers*perProducer)
+	}
+	for i := 1; i < len(deliveries); i++ {
+		if deliveries[i] < deliveries[i-1] {
+			t.Fatalf("delivery %d at %v precedes delivery %d at %v (pipe FIFO violated)",
+				i, deliveries[i], i-1, deliveries[i-1])
+		}
+	}
+	ops, bytes, busy := pipe.Stats()
+	if ops != producers*perProducer {
+		t.Fatalf("ops = %d, want %d", ops, producers*perProducer)
+	}
+	if bytes != sent {
+		t.Fatalf("bytes = %d, want %d", bytes, sent)
+	}
+	// serialize() rounds through float64, so allow up to 1 ns slack per op.
+	wantBusy := Duration(ops*5) + Duration(bytes)
+	if busy > wantBusy || busy < wantBusy-Duration(ops) {
+		t.Fatalf("busy = %v, want %v (±%d ns)", busy, wantBusy, ops)
+	}
+}

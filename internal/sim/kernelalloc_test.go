@@ -1,0 +1,155 @@
+package sim
+
+// Allocation assertions for the scheduler hot path, companion to the
+// microbenchmarks in kernelbench_test.go. The perf contract (see the
+// "Scheduler internals" section of the package doc) is that At and WaitUntil
+// allocate nothing in steady state — after warm-up has sized the event heap
+// and ring buffers — and that a stopped kernel releases every parked
+// goroutine.
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestAtSteadyStateAllocFree pins the pure event path: once the heap has
+// capacity, an After push + Run dispatch cycle performs zero allocations.
+func TestAtSteadyStateAllocFree(t *testing.T) {
+	k := NewKernel(1)
+	ticks := 0
+	tick := func() { ticks++ }
+	for i := 0; i < 64; i++ {
+		k.After(Duration(i), tick) // warm the heap's capacity
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		k.After(1, tick)
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("At/Run steady state: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestWaitUntilLoneTimerAllocFree pins the fused lone-timer path: a proc
+// advancing its own clock with nothing else pending must not allocate.
+func TestWaitUntilLoneTimerAllocFree(t *testing.T) {
+	k := NewKernel(1)
+	var perOp float64
+	k.Go("churn", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Wait(1) // warm-up
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		const n = 5000
+		for i := 0; i < n; i++ {
+			p.Wait(1)
+		}
+		runtime.ReadMemStats(&after)
+		perOp = float64(after.Mallocs-before.Mallocs) / n
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if perOp >= 0.01 {
+		t.Fatalf("lone-timer WaitUntil: %.4f allocs/op, want 0", perOp)
+	}
+}
+
+// TestWaitUntilParkedAllocFree pins the full park/handoff path: two procs
+// whose timers interleave, so every WaitUntil pushes a heap event, parks on
+// the wake channel and is resumed by the scheduler. Steady state must still
+// be allocation-free.
+func TestWaitUntilParkedAllocFree(t *testing.T) {
+	k := NewKernel(1)
+	const warm, n = 100, 5000
+	var perOp float64
+	k.Go("a", func(p *Proc) {
+		for i := 0; i < warm; i++ {
+			p.Wait(2)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < n; i++ {
+			p.Wait(2)
+		}
+		runtime.ReadMemStats(&after)
+		perOp = float64(after.Mallocs-before.Mallocs) / n
+	})
+	k.Go("b", func(p *Proc) {
+		p.Wait(1) // offset so the two timers always interleave
+		for i := 0; i < warm+n+10; i++ {
+			p.Wait(2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if perOp >= 0.01 {
+		t.Fatalf("parked WaitUntil: %.4f allocs/op, want 0", perOp)
+	}
+}
+
+// TestStopReleasesParkedGoroutines is the regression test for the Stop leak:
+// abandoned procs used to stay parked on their wake channels forever, pinning
+// one goroutine (plus stack) per proc for the life of the process. Run on a
+// stopped kernel must drain them all.
+func TestStopReleasesParkedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		k := NewKernel(int64(round))
+		c := NewCond(k, "parked")
+		for i := 0; i < 20; i++ {
+			k.Go("cond-parked", func(p *Proc) { c.Wait(p) })
+		}
+		k.Go("timer-parked", func(p *Proc) { p.Wait(1 << 40) })
+		k.GoDaemon("daemon-parked", func(p *Proc) { c.Wait(p) })
+		k.Go("stopper", func(p *Proc) {
+			p.Wait(10)
+			// Spawned-but-never-dispatched procs must be drained too.
+			k.Go("never-ran", func(p *Proc) { c.Wait(p) })
+			k.Stop()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if live := k.LiveProcs(); live != 0 {
+			t.Fatalf("round %d: %d procs still live after stopped Run", round, live)
+		}
+	}
+	// The drained goroutines are runnable (their wake channels were closed);
+	// give the Go scheduler a chance to run them to completion.
+	for i := 0; i < 1000; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("goroutine leak: %d before, %d after stopped runs",
+		before, runtime.NumGoroutine())
+}
+
+// TestStopDuringEventCallback stops the kernel from an event callback rather
+// than a proc, which exercises drain on procs parked at every lifecycle
+// stage without any proc observing the stop.
+func TestStopDuringEventCallback(t *testing.T) {
+	k := NewKernel(7)
+	c := NewCond(k, "never")
+	k.Go("parked", func(p *Proc) { c.Wait(p) })
+	k.Go("timed", func(p *Proc) { p.Wait(1 << 30) })
+	k.After(5, func() { k.Stop() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatalf("procs still live after event-callback Stop")
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", k.Now())
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+// Kernel microbenchmarks for the discrete-event scheduler hot path. Every
+// figure reproduction bottoms out here, so these are the numbers that bound
+// benchgate wall time. The four workloads cover the distinct hot paths:
+//
+//   - TimerChurn:          WaitUntil + timer event dispatch + proc handoff
+//   - EventChurn:          pure event-callback dispatch (no goroutine handoff)
+//   - ProcPingPong:        Cond signal/wake alternation between two procs
+//   - CondBroadcastStorm:  one broadcast waking a wide waiter set
+//   - MixedWorkload:       queue + pipe + timers together (realistic shape)
+//
+// Companion allocation assertions live in kernelalloc_test.go.
+
+import "testing"
+
+// BenchmarkTimerChurn measures one Wait(1) round trip per op: push a timer
+// event, park the proc, pop the event, resume the proc.
+func BenchmarkTimerChurn(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	k.Go("churn", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventChurn measures the pure event path: each callback schedules
+// the next, so per op = one heap push + one heap pop + one dispatch, with no
+// proc handoff at all.
+func BenchmarkEventChurn(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if n != b.N {
+		b.Fatalf("ticks = %d, want %d", n, b.N)
+	}
+}
+
+// BenchmarkProcPingPong measures two procs handing a turn back and forth
+// through a Cond: per op = two broadcasts, two wakes, two handoffs.
+func BenchmarkProcPingPong(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	c := NewCond(k, "turn")
+	turn := 0
+	waitZero := func() bool { return turn == 0 }
+	waitOne := func() bool { return turn == 1 }
+	k.Go("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			turn = 1
+			c.Broadcast()
+			c.WaitFor(p, waitZero)
+		}
+	})
+	k.Go("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.WaitFor(p, waitOne)
+			turn = 0
+			c.Broadcast()
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCondBroadcastStorm measures one broadcast waking 64 parked procs
+// per op — the completion-counter shape (Counter.Add under WaitAtLeast) that
+// partitioned-arrival tracking produces.
+func BenchmarkCondBroadcastStorm(b *testing.B) {
+	b.ReportAllocs()
+	const W = 64
+	k := NewKernel(1)
+	c := NewCond(k, "storm")
+	round := 0
+	for w := 0; w < W; w++ {
+		k.Go("w", func(p *Proc) {
+			for r := 1; r <= b.N; r++ {
+				for round < r {
+					c.Wait(p)
+				}
+			}
+		})
+	}
+	k.Go("driver", func(p *Proc) {
+		for r := 1; r <= b.N; r++ {
+			p.Wait(1)
+			round = r
+			c.Broadcast()
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMixedWorkload measures a producer/consumer pair exchanging work
+// through a Queue with pipe transfers and completion events — the shape of a
+// simulated rank: queue ops, timer waits, event callbacks, counter wakes.
+func BenchmarkMixedWorkload(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(7)
+	pipe := NewPipe(k, "link", 100, 1e9)
+	q := NewQueue[int](k, "work")
+	done := NewCounter(k, "done")
+	incr := func() { done.Add(1) }
+	k.Go("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Push(i)
+			p.Wait(50)
+		}
+	})
+	k.GoDaemon("consumer", func(p *Proc) {
+		for {
+			v := q.Pop(p)
+			pipe.TransferThen(int64(256+v%256), incr)
+			p.Wait(10)
+		}
+	})
+	k.Go("joiner", func(p *Proc) {
+		done.WaitAtLeast(p, b.N)
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSpawnReap measures proc lifecycle cost: spawn, immediate exit,
+// reap — the per-world setup overhead the sweep runner pays for every rank,
+// stream and engine.
+func BenchmarkSpawnReap(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	k.Go("spawner", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			k.Go("child", func(c *Proc) {})
+			p.Wait(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRingFIFOBasics pins push/pop ordering and len/empty accounting.
+func TestRingFIFOBasics(t *testing.T) {
+	var r ring[int]
+	if !r.empty() || r.len() != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 0; i < 20; i++ {
+		r.push(i)
+	}
+	if r.len() != 20 {
+		t.Fatalf("len = %d, want 20", r.len())
+	}
+	for i := 0; i < 20; i++ {
+		if v := r.pop(); v != i {
+			t.Fatalf("pop #%d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	if !r.empty() {
+		t.Fatal("ring not empty after draining")
+	}
+}
+
+// TestRingWrapAroundGrowth forces the head deep into the buffer before a
+// growth re-linearizes it: ordering must survive both the wrap and the copy.
+func TestRingWrapAroundGrowth(t *testing.T) {
+	var r ring[int]
+	next := 0 // next value to push
+	want := 0 // next value expected from pop
+	// Cycle push/pop to walk the head forward, then overfill to force growth.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 5; i++ {
+			r.push(next)
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			if v := r.pop(); v != want {
+				t.Fatalf("round %d: pop = %d, want %d", round, v, want)
+			}
+			want++
+		}
+	}
+	for ; want < next; want++ {
+		if v := r.pop(); v != want {
+			t.Fatalf("drain: pop = %d, want %d", v, want)
+		}
+	}
+}
+
+// TestRingRandomizedAgainstSlice drives a ring and a plain slice with the
+// same operation sequence and requires identical observable behavior.
+func TestRingRandomizedAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var r ring[int]
+	var ref []int
+	for op := 0; op < 10000; op++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			v := rng.Int()
+			r.push(v)
+			ref = append(ref, v)
+		} else {
+			got := r.pop()
+			want := ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("op %d: pop = %d, want %d", op, got, want)
+			}
+		}
+		if r.len() != len(ref) {
+			t.Fatalf("op %d: len = %d, want %d", op, r.len(), len(ref))
+		}
+	}
+}
+
+// TestRingPopReleasesReferences checks that popped slots are zeroed so the
+// ring does not pin pointers (procs, queue payloads) past their dequeue.
+func TestRingPopReleasesReferences(t *testing.T) {
+	var r ring[*int]
+	v := new(int)
+	r.push(v)
+	r.pop()
+	for i := range r.buf {
+		if r.buf[i] != nil {
+			t.Fatalf("slot %d still holds a pointer after pop", i)
+		}
+	}
+}

@@ -19,14 +19,36 @@
 // by (time, sequence number), a simulation is fully deterministic: the same
 // program produces the same virtual-time trace on every run. That property is
 // what makes every figure in the paper reproduction bit-for-bit repeatable.
+//
+// # Scheduler internals
+//
+// Since this is the hottest path in the repository (every figure bottoms out
+// here), the kernel keeps its steady state allocation-free:
+//
+//   - The timed event queue is an inline 4-ary min-heap over value event
+//     structs — no container/heap interface boxing, no per-At pointer
+//     allocation, half the tree depth of a binary heap.
+//   - A timer wake stores the *Proc directly in the event instead of a
+//     closure, so WaitUntil allocates nothing in steady state.
+//   - The run queue and all waiter lists are power-of-two ring buffers with
+//     O(1) push/pop (see ring.go); the live set reaps in O(1) by index.
+//   - Blocked-proc diagnostics are a typed blockReason rendered lazily by
+//     describeBlocked — the hot path never calls fmt.
+//   - Handoffs are fused where the outcome is forced: a timer wake with an
+//     empty run queue resumes the proc directly, a zero-length wait with
+//     nothing else runnable returns immediately, and same-timestamp event
+//     callbacks are batched without re-entering the dispatch loop.
+//
+// The mpivet analyzer hotpathalloc enforces the "no fmt / no closures / no
+// string concat" property on the scheduler-path functions.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Time is an absolute virtual time in nanoseconds since the start of the
@@ -96,6 +118,49 @@ func (s procState) String() string {
 	return "unknown"
 }
 
+// blockKind classifies what a parked Proc is waiting on.
+type blockKind uint8
+
+const (
+	blockNone blockKind = iota
+	blockTimer
+	blockCond
+	blockYield
+)
+
+// blockReason is the typed diagnostic payload for a parked Proc. It replaces
+// the formatted string the kernel used to build on every block: storing the
+// kind plus the raw Time / shared name keeps WaitUntil and Cond.Wait
+// allocation-free, and the human-readable form is rendered only if a
+// deadlock report actually needs it (describeBlocked).
+type blockReason struct {
+	kind blockKind
+	t    Time   // blockTimer: the wake-up time
+	name string // blockCond: the condition's name (shared, never formatted)
+}
+
+// String renders the reason in the exact format earlier kernels stored
+// eagerly, so deadlock reports are unchanged.
+func (r blockReason) String() string {
+	switch r.kind {
+	case blockNone:
+		return ""
+	case blockTimer:
+		return fmt.Sprintf("timer@%v", r.t)
+	case blockCond:
+		return "cond:" + r.name
+	case blockYield:
+		return "yield"
+	}
+	return ""
+}
+
+// procPoison unwinds a parked proc's goroutine when its kernel is drained
+// after Stop. It is recovered — and swallowed — by the spawn wrapper, so
+// user defers run and the goroutine (with its stack) is freed instead of
+// staying parked on its wake channel forever.
+type procPoison struct{}
+
 // Proc is a simulated process. All methods must be called from the goroutine
 // running the Proc body (they yield control to the scheduler).
 type Proc struct {
@@ -104,8 +169,9 @@ type Proc struct {
 	id      int
 	wake    chan struct{}
 	state   procState
-	blockOn string // diagnostic: what the proc is blocked on
-	daemon  bool   // daemons may remain blocked at simulation end
+	reason  blockReason // diagnostic: what the proc is blocked on
+	liveIdx int         // index into k.live, for O(1) reap
+	daemon  bool        // daemons may remain blocked at simulation end
 }
 
 // Name returns the diagnostic name given to Go/Spawn.
@@ -117,31 +183,77 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// event is a scheduled callback.
+// event is a scheduled wake-up: either a callback (fn) or a parked proc to
+// make ready (proc != nil). Storing the proc directly lets WaitUntil
+// schedule its own wake without allocating a closure; events are values in
+// the heap slice, so steady-state At/WaitUntil allocate nothing.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
+// eventHeap is an inline 4-ary min-heap ordered by (at, seq). The (at, seq)
+// key is a strict total order (seq is unique), so pop order — and therefore
+// every virtual-time trace — is identical to any other correct priority
+// queue over the same keys; only the constant factor changed.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push inserts e and sifts it up.
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+// pop removes and returns the minimum. The heap must be non-empty.
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release fn/proc references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if s.less(c, best) {
+				best = c
+			}
+		}
+		if !s.less(best, i) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
 }
 
 type yieldMsg struct {
@@ -149,21 +261,33 @@ type yieldMsg struct {
 	ended bool
 }
 
+// totalDispatched aggregates scheduler dispatches across every kernel in the
+// process (updated once per Run, not per event). cmd/benchgate reads it to
+// report events/sec.
+var totalDispatched int64
+
+// TotalDispatched reports the process-wide number of scheduler dispatches
+// (proc resumes + event callbacks) executed by completed Run calls.
+func TotalDispatched() int64 { return atomic.LoadInt64(&totalDispatched) }
+
 // Kernel is the simulation scheduler: a virtual clock, a timed event queue,
 // and a run queue of ready processes.
 type Kernel struct {
-	now      Time
-	events   eventHeap
-	runq     []*Proc
-	yieldCh  chan yieldMsg
-	seq      uint64
-	nextID   int
-	live     []*Proc // all non-done procs, for deadlock diagnostics
-	running  bool
-	rng      *rand.Rand
-	stopped  bool
-	panicked error
-	tracer   *Tracer
+	now        Time
+	events     eventHeap
+	runq       ring[*Proc]
+	yieldCh    chan yieldMsg
+	seq        uint64
+	nextID     int
+	live       []*Proc // all non-done procs, for deadlock diagnostics
+	running    bool
+	rng        *rand.Rand
+	stopped    bool
+	poisoned   bool // stopped kernel drained; parked procs unwind on wake
+	panicked   error
+	tracer     *Tracer
+	dispatched int64 // proc resumes + event callbacks, for perf reporting
+	flushed    int64 // portion of dispatched already added to totalDispatched
 }
 
 // NewKernel creates an empty simulation with the clock at zero. The seed
@@ -181,6 +305,10 @@ func (k *Kernel) Now() Time { return k.now }
 // Rand returns the kernel's deterministic random source.
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
+// Dispatched reports how many scheduler dispatches (proc resumes + event
+// callbacks) this kernel has executed so far.
+func (k *Kernel) Dispatched() int64 { return k.dispatched }
+
 // nextSeq returns a monotonically increasing tiebreaker for event ordering.
 func (k *Kernel) nextSeq() uint64 {
 	k.seq++
@@ -192,7 +320,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
-	heap.Push(&k.events, &event{at: t, seq: k.nextSeq(), fn: fn})
+	k.events.push(event{at: t, seq: k.nextSeq(), fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -204,17 +332,26 @@ func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+Time(d), fn) }
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 	k.nextID++
 	p := &Proc{
-		k:     k,
-		name:  name,
-		id:    k.nextID,
-		wake:  make(chan struct{}),
-		state: stateNew,
+		k:       k,
+		name:    name,
+		id:      k.nextID,
+		wake:    make(chan struct{}),
+		state:   stateNew,
+		liveIdx: len(k.live),
 	}
 	k.live = append(k.live, p)
 	go func() {
 		<-p.wake // first dispatch
+		if k.poisoned {
+			return // kernel was stopped and drained before this proc ran
+		}
 		defer func() {
 			if r := recover(); r != nil {
+				if _, poison := r.(procPoison); poison {
+					// Stopped-kernel drain: the scheduler is gone; exit
+					// without touching the yield channel.
+					return
+				}
 				if k.panicked == nil {
 					k.panicked = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
 				}
@@ -244,13 +381,14 @@ func (k *Kernel) ready(p *Proc) {
 		panic("sim: readying a finished proc " + p.name)
 	}
 	p.state = stateReady
-	p.blockOn = ""
-	k.runq = append(k.runq, p)
+	p.reason = blockReason{}
+	k.runq.push(p)
 }
 
 // resume hands control to p and waits until it yields back (by blocking or
 // finishing).
 func (k *Kernel) resume(p *Proc) {
+	k.dispatched++
 	p.state = stateRunning
 	p.wake <- struct{}{}
 	msg := <-k.yieldCh
@@ -262,22 +400,36 @@ func (k *Kernel) resume(p *Proc) {
 	}
 }
 
+// reap removes p from the live set in O(1): the tail proc is swapped into
+// p's slot (every proc carries its own live index), replacing the previous
+// linear scan plus copy.
 func (k *Kernel) reap(p *Proc) {
-	for i, q := range k.live {
-		if q == p {
-			k.live = append(k.live[:i], k.live[i+1:]...)
-			return
-		}
-	}
+	i := p.liveIdx
+	last := len(k.live) - 1
+	k.live[i] = k.live[last]
+	k.live[i].liveIdx = i
+	k.live[last] = nil
+	k.live = k.live[:last]
+	p.liveIdx = -1
 }
 
 // block is called from inside a Proc: it returns control to the scheduler
-// and parks until the proc is next made ready.
-func (p *Proc) block(state procState, on string) {
+// and parks until the proc is next made ready. On a poisoned (stopped and
+// drained) kernel it unwinds the proc instead, so the goroutine exits.
+func (p *Proc) block(state procState, on blockReason) {
+	k := p.k
+	if k.poisoned {
+		// A defer running during a poison unwind re-entered the scheduler;
+		// nobody is listening on the yield channel any more.
+		panic(procPoison{})
+	}
 	p.state = state
-	p.blockOn = on
-	p.k.yieldCh <- yieldMsg{p: p}
+	p.reason = on
+	k.yieldCh <- yieldMsg{p: p}
 	<-p.wake
+	if k.poisoned {
+		panic(procPoison{})
+	}
 }
 
 // Wait advances the Proc's virtual time by d. Negative durations are treated
@@ -292,17 +444,57 @@ func (p *Proc) Wait(d Duration) {
 // WaitUntil parks the Proc until absolute virtual time t.
 func (p *Proc) WaitUntil(t Time) {
 	k := p.k
-	if t < k.now {
+	if t <= k.now {
+		// Fused fast path: with no ready peers and no pending events, a
+		// zero-length wait would bounce through the scheduler (two channel
+		// handoffs) only to be resumed immediately with the clock unmoved.
+		if k.runq.empty() && len(k.events) == 0 {
+			return
+		}
 		t = k.now
+	} else if k.runq.empty() && !k.stopped && (len(k.events) == 0 || k.events[0].at > t) {
+		// Lone-timer fast path: no proc is ready and the earliest pending
+		// event fires strictly after t, so the scheduler's only possible move
+		// is to advance the clock to t and resume this proc. (An event at
+		// exactly t would still win the (time, seq) tie-break — this wake
+		// would get the newest seq — so that case takes the slow path.) Do
+		// the forced move in place, skipping both goroutine handoffs.
+		k.now = t
+		return
 	}
-	k.At(t, func() { k.ready(p) })
-	p.block(stateTimed, fmt.Sprintf("timer@%v", t))
+	k.events.push(event{at: t, seq: k.nextSeq(), proc: p})
+	p.block(stateTimed, blockReason{kind: blockTimer, t: t})
 }
 
 // Yield reschedules the Proc at the current time behind already-ready peers.
+// With no ready peers it is a no-op: the scheduler would hand control
+// straight back (ready procs always run before pending events).
 func (p *Proc) Yield() {
-	p.k.ready(p)
-	p.block(stateReady, "yield")
+	k := p.k
+	if k.runq.empty() {
+		return
+	}
+	k.ready(p)
+	p.block(stateReady, blockReason{kind: blockYield})
+}
+
+// dispatch runs one event. A timer wake with an empty run queue resumes the
+// proc directly — the fused path — instead of routing it through the run
+// queue just to pop it again on the next loop turn.
+func (k *Kernel) dispatch(e event) {
+	if e.proc != nil {
+		p := e.proc
+		p.state = stateReady
+		p.reason = blockReason{}
+		if k.runq.empty() {
+			k.resume(p)
+			return
+		}
+		k.runq.push(p)
+		return
+	}
+	k.dispatched++
+	e.fn()
 }
 
 // Run executes the simulation until no process is runnable and no events are
@@ -314,21 +506,29 @@ func (k *Kernel) Run() error {
 		return fmt.Errorf("sim: Run called re-entrantly")
 	}
 	k.running = true
-	defer func() { k.running = false }()
+	defer func() {
+		k.running = false
+		atomic.AddInt64(&totalDispatched, k.dispatched-k.flushed)
+		k.flushed = k.dispatched
+	}()
 	for !k.stopped && k.panicked == nil {
-		if len(k.runq) > 0 {
-			p := k.runq[0]
-			copy(k.runq, k.runq[1:])
-			k.runq = k.runq[:len(k.runq)-1]
-			k.resume(p)
+		if !k.runq.empty() {
+			k.resume(k.runq.pop())
 			continue
 		}
-		if k.events.Len() > 0 {
-			e := heap.Pop(&k.events).(*event)
+		if len(k.events) > 0 {
+			e := k.events.pop()
 			if e.at > k.now {
 				k.now = e.at
 			}
-			e.fn()
+			k.dispatch(e)
+			// Batch same-timestamp callbacks: while no proc became ready,
+			// the outer loop would pop the next event at this exact time
+			// anyway — skip its branch round trip.
+			for k.runq.empty() && !k.stopped && k.panicked == nil &&
+				len(k.events) > 0 && k.events[0].at == k.now {
+				k.dispatch(k.events.pop())
+			}
 			continue
 		}
 		break
@@ -337,8 +537,9 @@ func (k *Kernel) Run() error {
 		return k.panicked
 	}
 	if k.stopped {
-		// A stopped kernel abandons blocked procs by design; they are
-		// never resumed. Nothing further to do.
+		// A stopped kernel abandons blocked procs by design; drain releases
+		// their goroutines so the kernel is fully collectable.
+		k.drain()
 		return nil
 	}
 	for _, p := range k.live {
@@ -350,9 +551,24 @@ func (k *Kernel) Run() error {
 }
 
 // Stop terminates the simulation at the end of the current dispatch. Blocked
-// procs are abandoned. Intended for benchmarks that only need a prefix of
-// the simulated execution.
+// procs are abandoned: when Run returns it poisons and wakes each one so its
+// goroutine unwinds and exits (previously they stayed parked forever,
+// pinning one goroutine plus stack per abandoned proc for the life of the
+// process). Intended for benchmarks that only need a prefix of the simulated
+// execution.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// drain releases every parked proc of a stopped kernel. Closing the wake
+// channel wakes the proc wherever it is parked; block (or the first-dispatch
+// wrapper) observes the poisoned flag and unwinds via a poison panic that
+// the spawn wrapper swallows. After drain the kernel holds no goroutines.
+func (k *Kernel) drain() {
+	k.poisoned = true
+	for _, p := range k.live {
+		close(p.wake)
+	}
+	k.live = nil
+}
 
 func (k *Kernel) describeBlocked() string {
 	ps := append([]*Proc(nil), k.live...)
@@ -366,11 +582,12 @@ func (k *Kernel) describeBlocked() string {
 		if n > 0 {
 			b.WriteString("; ")
 		}
-		fmt.Fprintf(&b, "%s[%s on %s]", p.name, p.state, p.blockOn)
+		fmt.Fprintf(&b, "%s[%s on %s]", p.name, p.state, p.reason)
 		n++
 	}
 	return b.String()
 }
 
-// LiveProcs returns the number of processes that have not finished.
+// LiveProcs returns the number of processes that have not finished. After a
+// stopped Run it reports zero: abandoned procs are drained, not live.
 func (k *Kernel) LiveProcs() int { return len(k.live) }

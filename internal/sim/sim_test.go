@@ -313,11 +313,11 @@ func TestCounterSet(t *testing.T) {
 
 func TestQueuePushPopOrdering(t *testing.T) {
 	k := NewKernel(1)
-	q := NewQueue(k, "t")
+	q := NewQueue[int](k, "t")
 	var got []int
 	k.Go("consumer", func(p *Proc) {
 		for i := 0; i < 3; i++ {
-			got = append(got, q.Pop(p).(int))
+			got = append(got, q.Pop(p))
 		}
 	})
 	k.Go("producer", func(p *Proc) {
@@ -336,7 +336,7 @@ func TestQueuePushPopOrdering(t *testing.T) {
 
 func TestQueueTryPop(t *testing.T) {
 	k := NewKernel(1)
-	q := NewQueue(k, "t")
+	q := NewQueue[string](k, "t")
 	if _, ok := q.TryPop(); ok {
 		t.Fatal("TryPop on empty queue returned ok")
 	}
@@ -346,7 +346,7 @@ func TestQueueTryPop(t *testing.T) {
 		t.Fatalf("len = %d, want 2", q.Len())
 	}
 	v, ok := q.TryPop()
-	if !ok || v.(string) != "x" {
+	if !ok || v != "x" {
 		t.Fatalf("TryPop = %v,%v", v, ok)
 	}
 }
