@@ -94,7 +94,9 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	got.Description = "golden virtual-time baselines for the tier-1 figure subset (cmd/benchgate)"
 	got.GOARCH = runtime.GOARCH

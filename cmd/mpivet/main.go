@@ -1,17 +1,23 @@
 // Command mpivet runs the repository's custom static-analysis suite
 // (internal/analysis) over the given packages and reports violations of the
-// simulation's correctness invariants: wall-clock use in sim-driven code,
-// impure kernel bodies, partitioned-API state-machine misuse, mutexes held
-// across virtual-time waits, ignored errors, and non-exhaustive enum
-// switches.
+// simulation's correctness invariants: wall-clock use in sim-driven code
+// (including laundered through helpers), impure kernel bodies,
+// partitioned-API state-machine misuse (intra- and interprocedural), mutexes
+// held across virtual-time waits, lock acquisition-order cycles, ignored
+// errors, and non-exhaustive enum switches.
 //
 // Usage:
 //
-//	mpivet [-json] [-rules simclock,kernelpurity,...] [packages]
+//	mpivet [-json|-sarif] [-summary] [-strict-ignores] [-rules r1,r2] [packages]
 //
 // Packages are directories or recursive "dir/..." patterns relative to the
 // module root (default "./..."). The exit status is 0 when clean, 1 when
 // findings were reported, 2 on usage or load errors.
+//
+// -summary dumps the per-function interprocedural effect summaries (the
+// lattice the analyzers consume) instead of findings. -sarif emits SARIF
+// 2.1.0 with interprocedural chains as codeFlows. -strict-ignores
+// additionally reports suppression directives that no longer fire.
 //
 // A finding is suppressed by the comment
 //
@@ -23,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,16 +37,33 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON")
-	rules := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-	list := flag.Bool("list", false, "list available rules and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code:
+// 0 clean, 1 findings, 2 usage/load/internal error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpivet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit findings as SARIF 2.1.0 (chains as codeFlows)")
+	summary := fs.Bool("summary", false, "dump per-function effect summaries instead of findings")
+	strict := fs.Bool("strict-ignores", false, "report lint:ignore directives that no longer suppress anything")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-18s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "mpivet: -json and -sarif are mutually exclusive")
+		return 2
 	}
 
 	analyzers := analysis.Analyzers()
@@ -48,8 +72,8 @@ func main() {
 		for _, name := range strings.Split(*rules, ",") {
 			a := analysis.AnalyzerByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "mpivet: unknown rule %q (try -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "mpivet: unknown rule %q (try -list)\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -57,37 +81,50 @@ func main() {
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpivet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mpivet: %v\n", err)
+		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpivet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mpivet: %v\n", err)
+		return 2
 	}
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpivet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mpivet: %v\n", err)
+		return 2
 	}
 
-	diags := analysis.Run(analyzers, pkgs)
-	if *jsonOut {
-		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
-			fmt.Fprintf(os.Stderr, "mpivet: %v\n", err)
-			os.Exit(2)
+	if *summary {
+		prog := analysis.BuildProgram(pkgs)
+		if err := prog.WriteSummaries(stdout); err != nil {
+			fmt.Fprintf(stderr, "mpivet: %v\n", err)
+			return 2
 		}
-	} else if err := analysis.WriteText(os.Stdout, diags); err != nil {
-		fmt.Fprintf(os.Stderr, "mpivet: %v\n", err)
-		os.Exit(2)
+		return 0
+	}
+
+	diags := analysis.RunWith(analyzers, pkgs, analysis.Options{StrictIgnores: *strict})
+	switch {
+	case *jsonOut:
+		err = analysis.WriteJSON(stdout, diags)
+	case *sarifOut:
+		err = analysis.WriteSARIF(stdout, diags)
+	default:
+		err = analysis.WriteText(stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "mpivet: %v\n", err)
+		return 2
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // findModuleRoot walks up from the working directory to the go.mod.

@@ -25,17 +25,38 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, addressed by file:line:col.
+// Diagnostic is one finding, addressed by file:line:col. Interprocedural
+// findings carry the call chain from the reported site down to the
+// intrinsic construct that justifies them.
 type Diagnostic struct {
-	Rule    string `json:"rule"`
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Rule    string      `json:"rule"`
+	File    string      `json:"file"`
+	Line    int         `json:"line"`
+	Col     int         `json:"col"`
+	Message string      `json:"message"`
+	Chain   []ChainStep `json:"chain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s [mpivet/%s]", d.File, d.Line, d.Col, d.Message, d.Rule)
+	s := fmt.Sprintf("%s:%d:%d: %s [mpivet/%s]", d.File, d.Line, d.Col, d.Message, d.Rule)
+	if len(d.Chain) > 0 {
+		s += "\n\tchain: " + renderChain(d.Chain)
+	}
+	return s
+}
+
+// equal reports whether two diagnostics are identical, chains included.
+func (d Diagnostic) equal(o Diagnostic) bool {
+	if d.Rule != o.Rule || d.File != o.File || d.Line != o.Line ||
+		d.Col != o.Col || d.Message != o.Message || len(d.Chain) != len(o.Chain) {
+		return false
+	}
+	for i := range d.Chain {
+		if d.Chain[i] != o.Chain[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Analyzer is one rule of the suite.
@@ -58,7 +79,10 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
-	diags    *[]Diagnostic
+	// Prog is the whole-program call graph + effect/taint summaries over
+	// every package of this Run (shared across passes).
+	Prog  *Program
+	diags *[]Diagnostic
 }
 
 // Files yields the package files this pass should inspect (honouring
@@ -79,6 +103,11 @@ func (p *Pass) Files() []*File {
 // Reportf records a diagnostic at pos unless a suppression directive covers
 // it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportfChain(pos, nil, format, args...)
+}
+
+// ReportfChain records a diagnostic carrying an interprocedural call chain.
+func (p *Pass) ReportfChain(pos token.Pos, chain []ChainStep, format string, args ...interface{}) {
 	position := p.Pkg.Fset.Position(pos)
 	if p.Pkg.suppressed(position.Filename, position.Line, p.Analyzer.Name) {
 		return
@@ -89,6 +118,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
 	})
 }
 
@@ -98,7 +128,9 @@ func Analyzers() []*Analyzer {
 		SimclockAnalyzer,
 		KernelPurityAnalyzer,
 		PartitionedOrderAnalyzer,
+		PartitionedFlowAnalyzer,
 		LockedAwaitAnalyzer,
+		DeadlockOrderAnalyzer,
 		ErrcheckAnalyzer,
 		ExhaustiveAnalyzer,
 		HotPathAllocAnalyzer,
@@ -128,11 +160,30 @@ type suppression struct {
 	pos    token.Pos
 }
 
+// Options tunes a Run.
+type Options struct {
+	// StrictIgnores additionally reports well-formed //lint:ignore
+	// directives that no longer suppress anything (rule "stale-ignore").
+	// Only directives naming an analyzer that actually ran are considered,
+	// so partial -rules runs never mark live suppressions stale.
+	StrictIgnores bool
+}
+
 // Run executes the given analyzers over the packages and returns the merged,
 // deduplicated, position-sorted diagnostics. Malformed suppression
 // directives (no reason) are reported under rule "lint-directive".
 func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	return RunWith(analyzers, pkgs, Options{})
+}
+
+// RunWith is Run with explicit Options.
+func RunWith(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
 	var diags []Diagnostic
+	prog := BuildProgram(pkgs)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	for _, pkg := range pkgs {
 		for _, s := range pkg.supps {
 			if s.reason == "" {
@@ -149,15 +200,33 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
 			a.Run(pass)
+		}
+	}
+	if opts.StrictIgnores {
+		for _, pkg := range pkgs {
+			for i, s := range pkg.supps {
+				if s.reason == "" || !ran[s.rule] || pkg.usedSupps[i] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Rule:    "stale-ignore",
+					File:    s.file,
+					Line:    s.line,
+					Col:     pkg.Fset.Position(s.pos).Column,
+					Message: fmt.Sprintf("stale suppression: mpivet/%s no longer reports anything on this line; delete the directive", s.rule),
+				})
+			}
 		}
 	}
 	return dedupe(diags)
 }
 
 // dedupe removes identical findings (nested kernel closures can be reached
-// twice) and sorts by position then rule.
+// twice) and sorts by (file, line, analyzer) — the deterministic order the
+// byte-identical-output guarantee rests on — with column and message as
+// final tiebreakers.
 func dedupe(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -167,17 +236,17 @@ func dedupe(diags []Diagnostic) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
 		return a.Message < b.Message
 	})
 	out := diags[:0]
 	for i, d := range diags {
-		if i > 0 && d == diags[i-1] {
+		if i > 0 && d.equal(diags[i-1]) {
 			continue
 		}
 		out = append(out, d)

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func loadFixtureProgram(t *testing.T, path string, files map[string]string) *Program {
+	t.Helper()
+	l := newTestLoader(t)
+	pkg, err := l.LoadSource(path, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildProgram([]*Package{pkg})
+}
+
+// TestEffectSummaries pins the bottom-up effect lattice: intrinsics, two-hop
+// propagation with witness chains, goroutine isolation, and the
+// panic-argument exemption.
+func TestEffectSummaries(t *testing.T) {
+	prog := loadFixtureProgram(t, "mpipart/internal/fixture", map[string]string{"eff.go": `package fixture
+import (
+	"fmt"
+	"time"
+)
+func leaf() { fmt.Println("x") }
+func mid() { leaf() }
+func top() { mid() }
+func spawn() { go top() }
+func coldPanic(x int) {
+	if x < 0 {
+		panic(fmt.Sprintf("bad %d", x))
+	}
+}
+func clock() time.Duration { return time.Since(time.Time{}) }
+func scale(d time.Duration) float64 { return d.Seconds() }
+`})
+
+	node := func(name string) *FuncNode {
+		n := prog.NodeByID("mpipart/internal/fixture." + name)
+		if n == nil {
+			t.Fatalf("no node %q", name)
+		}
+		return n
+	}
+
+	top := prog.Summary(node("top"))
+	if !top.Effects.Has(EffHostIO) || !top.Effects.Has(EffAllocates) {
+		t.Fatalf("top effects = %s, want HostIO+Allocates through two hops", top.Effects)
+	}
+	chain := prog.Chain(node("top"), EffHostIO)
+	if len(chain) != 3 {
+		t.Fatalf("chain length = %d, want 3 (mid -> leaf -> fmt.Println): %s", len(chain), renderChain(chain))
+	}
+	if chain[2].Desc != "fmt.Println" {
+		t.Fatalf("chain tail = %+v, want fmt.Println intrinsic", chain[2])
+	}
+
+	spawn := prog.Summary(node("spawn"))
+	if !spawn.Effects.Has(EffSpawnsGoroutine) {
+		t.Fatalf("spawn effects = %s, want SpawnsGoroutine", spawn.Effects)
+	}
+	if spawn.Effects.Has(EffHostIO) {
+		t.Fatalf("spawn effects = %s: effects must not propagate through go statements", spawn.Effects)
+	}
+
+	cold := prog.Summary(node("coldPanic"))
+	if cold.Effects.Has(EffAllocates) {
+		t.Fatalf("coldPanic effects = %s: panic arguments are exempt from allocation effects", cold.Effects)
+	}
+
+	if !prog.Summary(node("clock")).Effects.Has(EffReadsWallClock) {
+		t.Fatal("clock must carry ReadsWallClock")
+	}
+
+	returnsTaint, _ := prog.TaintOf(node("clock"))
+	if !returnsTaint {
+		t.Fatal("clock must have returnsTaint (returns time.Since directly)")
+	}
+	_, mask := prog.TaintOf(node("scale"))
+	if mask&1 == 0 {
+		t.Fatalf("scale paramToReturn = %b, want bit 0 (d flows to return)", mask)
+	}
+}
+
+// TestLoaderBuildTagTwins checks build-tag twin files (same function declared
+// under mutually exclusive constraints) load without crashing: the duplicate
+// identity is disambiguated and both bodies are analyzed.
+func TestLoaderBuildTagTwins(t *testing.T) {
+	prog := loadFixtureProgram(t, "mpipart/internal/fixture", map[string]string{
+		"plat_linux.go": `//go:build linux
+
+package fixture
+
+func Plat() int { return 1 }
+`,
+		"plat_other.go": `//go:build !linux
+
+package fixture
+
+func Plat() int { return 2 }
+`,
+	})
+	var ids []string
+	for _, n := range prog.Nodes {
+		if n.Name == "Plat" {
+			ids = append(ids, n.ID)
+		}
+	}
+	if len(ids) != 2 || ids[0] == ids[1] {
+		t.Fatalf("build-tag twins: got nodes %v, want two distinct IDs", ids)
+	}
+}
+
+// TestLoaderGenerics checks generic functions and methods: every
+// instantiation collapses onto one origin node, which carries one
+// conservative shared summary, and nothing crashes along the way.
+func TestLoaderGenerics(t *testing.T) {
+	prog := loadFixtureProgram(t, "mpipart/internal/fixture", map[string]string{"gen.go": `package fixture
+import "fmt"
+func Describe[T any](v T) string { return fmt.Sprintf("%v", v) }
+type ring[T any] struct{ buf []T }
+func (r *ring[T]) push(v T) { r.buf = append(r.buf, v) }
+func useInt() string { return Describe(42) }
+func useStr() string { return Describe[string]("x") }
+func useRing() {
+	r := &ring[int]{}
+	r.push(1)
+}
+`})
+	var describeNodes []*FuncNode
+	for _, n := range prog.Nodes {
+		if n.Name == "Describe" {
+			describeNodes = append(describeNodes, n)
+		}
+	}
+	if len(describeNodes) != 1 {
+		t.Fatalf("got %d Describe nodes, want 1 (instantiations share the origin)", len(describeNodes))
+	}
+	origin := describeNodes[0]
+	if !prog.Summary(origin).Effects.Has(EffAllocates) {
+		t.Fatalf("Describe summary = %s, want Allocates", prog.Summary(origin).Effects)
+	}
+	for _, caller := range []string{"useInt", "useStr"} {
+		n := prog.NodeByID("mpipart/internal/fixture." + caller)
+		if n == nil {
+			t.Fatalf("no node %s", caller)
+		}
+		found := false
+		for _, site := range n.Calls {
+			for _, c := range site.Callees {
+				if c == origin {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s does not resolve to the Describe origin node", caller)
+		}
+		if !prog.Summary(n).Effects.Has(EffAllocates) {
+			t.Errorf("%s summary = %s, want Allocates inherited from the generic callee", caller, prog.Summary(n).Effects)
+		}
+	}
+	ringPush := false
+	for _, n := range prog.Nodes {
+		if n.RecvName == "ring" && n.Name == "push" {
+			ringPush = true
+			if !prog.Summary(n).Effects.Has(EffAppendGrowth) {
+				t.Errorf("ring.push summary = %s, want AppendGrowth", prog.Summary(n).Effects)
+			}
+		}
+	}
+	if !ringPush {
+		t.Fatal("no node for generic method ring.push")
+	}
+}
+
+// TestCHAInterfaceResolution checks interface method calls resolve to every
+// in-program implementation with a matching signature, and effects flow
+// through the candidate edges.
+func TestCHAInterfaceResolution(t *testing.T) {
+	prog := loadFixtureProgram(t, "mpipart/internal/fixture", map[string]string{"cha.go": `package fixture
+import "fmt"
+type runner interface{ Step(n int) int }
+type loud struct{}
+func (loud) Step(n int) int { fmt.Println(n); return n }
+type quiet struct{}
+func (quiet) Step(n int) int { return n + 1 }
+func drive(r runner) int { return r.Step(3) }
+`})
+	drive := prog.NodeByID("mpipart/internal/fixture.drive")
+	if drive == nil {
+		t.Fatal("no node drive")
+	}
+	var callees []string
+	for _, site := range drive.Calls {
+		for _, c := range site.Callees {
+			callees = append(callees, c.ID)
+		}
+	}
+	joined := strings.Join(callees, " ")
+	if !strings.Contains(joined, "(loud).Step") || !strings.Contains(joined, "(quiet).Step") {
+		t.Fatalf("CHA callees = %v, want both Step implementations", callees)
+	}
+	if !prog.Summary(drive).Effects.Has(EffHostIO) {
+		t.Fatalf("drive summary = %s, want HostIO through the loud candidate", prog.Summary(drive).Effects)
+	}
+}

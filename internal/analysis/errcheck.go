@@ -17,10 +17,10 @@ import (
 // `_ = f()` — the explicit blank assignment is the suppression.
 var ErrcheckAnalyzer = &Analyzer{
 	Name:      "errcheck-lite",
-	Doc:       "flag ignored error returns in internal/ non-test code",
+	Doc:       "flag ignored error returns in internal/ and cmd/ non-test code",
 	SkipTests: true,
 	Match: func(pkgPath string) bool {
-		return strings.Contains(pkgPath, "/internal/")
+		return strings.Contains(pkgPath, "/internal/") || strings.Contains(pkgPath, "/cmd/")
 	},
 	Run: runErrcheck,
 }

@@ -42,10 +42,12 @@ var hotPathFuncs = map[string]bool{
 
 // HotPathAllocAnalyzer forbids per-call allocation sources — fmt calls,
 // string concatenation, closure literals — in the internal/sim scheduler
-// hot-path functions.
+// hot-path functions, including ones reached through helper calls: a hot
+// function calling a helper whose summary carries the Allocates effect is
+// reported at the call site with the chain down to the allocating construct.
 var HotPathAllocAnalyzer = &Analyzer{
 	Name:      "hotpathalloc",
-	Doc:       "forbid fmt calls, string concatenation and closures in internal/sim scheduler hot-path functions",
+	Doc:       "forbid fmt calls, string concatenation and closures (transitively) in internal/sim scheduler hot-path functions",
 	SkipTests: true,
 	Match: func(pkgPath string) bool {
 		return strings.HasSuffix(pkgPath, "internal/sim")
@@ -89,6 +91,42 @@ func runHotPathAlloc(pass *Pass) {
 				continue
 			}
 			checkHotBody(pass, fd, key, fmtName, hasFmt)
+			checkHotCallees(pass, fd, key)
+		}
+	}
+}
+
+// checkHotCallees reports hot-path calls of helpers whose effect summary
+// carries Allocates — allocation sources the syntactic check cannot see
+// because they live in a callee (or a callee's callee). Calls to other
+// designated hot-path functions are skipped: those are checked at their own
+// declaration, so reporting the edge would double-count.
+func checkHotCallees(pass *Pass, fd *ast.FuncDecl, key string) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	node := prog.NodeOf(fd)
+	if node == nil {
+		return
+	}
+	for _, site := range node.Calls {
+		if site.InPanicArg || site.Spawned {
+			continue // cold diagnostic path / runs on another goroutine
+		}
+		for _, callee := range site.Callees {
+			if callee.Lit != nil {
+				continue // the literal itself is already reported
+			}
+			if callee.PkgPath == node.PkgPath && hotPathFuncs[calleeKey(callee.RecvName, callee.Name)] {
+				continue
+			}
+			if !prog.Summary(callee).Effects.Has(EffAllocates) {
+				continue
+			}
+			chain := prog.chainFromSite(site, node, callee, EffAllocates)
+			pass.ReportfChain(site.Pos, chain,
+				"call of %s in scheduler hot path %s allocates per call (transitively); hoist or precompute it", callee.ShortName(), key)
 		}
 	}
 }

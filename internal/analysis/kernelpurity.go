@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"strings"
 )
 
 // KernelPurityAnalyzer checks kernel bodies — any function or closure taking
@@ -10,10 +11,34 @@ import (
 // computation. Goroutines, channels, sync primitives, I/O and wall-clock
 // calls there either break determinism outright or charge no virtual time,
 // corrupting the figures the body contributes to.
+//
+// The check is transitive: a helper the kernel body calls (directly or
+// through further helpers) that contains a host-side construct is reported at
+// the kernel's call site with the full call chain. The simulation runtime
+// itself (internal/sim, gpu, core and the transport layers) is trusted — it
+// legitimately implements device semantics with host constructs — so the
+// traversal stops at its boundary.
 var KernelPurityAnalyzer = &Analyzer{
 	Name: "kernelpurity",
-	Doc:  "kernel bodies (*gpu.BlockCtx funcs) must stay pure device code: no go/chan/sync/io/time",
+	Doc:  "kernel bodies (*gpu.BlockCtx funcs) must stay pure device code: no go/chan/sync/io/time, transitively through helpers",
 	Run:  runKernelPurity,
+}
+
+// trustedRuntimePackages are the module layers that implement the simulated
+// device/network semantics; helpers there use host constructs by design and
+// are not descended into.
+var trustedRuntimePackages = map[string]bool{
+	"internal/sim": true, "internal/gpu": true, "internal/core": true,
+	"internal/coll": true, "internal/mpi": true, "internal/ucx": true,
+	"internal/nccl": true, "internal/fabric": true, "internal/cluster": true,
+}
+
+func isTrustedRuntimePkg(pkgPath string) bool {
+	i := strings.Index(pkgPath, "internal/")
+	if i < 0 {
+		return false
+	}
+	return trustedRuntimePackages[pkgPath[i:]]
 }
 
 // hostOnlyPackages are packages whose call from device code is always a
@@ -49,12 +74,94 @@ func runKernelPurity(pass *Pass) {
 				return true
 			}
 			checkKernelBody(pass, body)
+			checkKernelCallees(pass, n)
 			// Nested kernel closures inside this body are visited again by
 			// the outer Inspect; duplicate findings are deduplicated by the
 			// runner.
 			return true
 		})
 	}
+}
+
+// checkKernelCallees reports host-side constructs reached through helper
+// calls from the kernel body (the interprocedural half of the rule). The
+// kernel's nested closures are device code too, so their call sites are
+// scanned as well.
+func checkKernelCallees(pass *Pass, kernelFn ast.Node) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	kernel := prog.NodeOf(kernelFn)
+	if kernel == nil {
+		return // test file: not in the call graph
+	}
+	for _, node := range prog.Nodes {
+		if !inKernelScope(node, kernel) {
+			continue
+		}
+		for _, site := range node.Calls {
+			for _, callee := range site.Callees {
+				if isTrustedRuntimePkg(callee.PkgPath) {
+					continue
+				}
+				chain, desc := impurityPath(prog, callee, map[*FuncNode]bool{kernel: true})
+				if chain == nil {
+					continue
+				}
+				pos := node.Pkg.Fset.Position(site.Pos)
+				full := append([]ChainStep{{
+					Func: callee.ShortName(), File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				}}, chain...)
+				pass.ReportfChain(site.Pos, full,
+					"call of %s from kernel body reaches %s: host-side construct in device code", callee.ShortName(), desc)
+			}
+		}
+	}
+}
+
+// inKernelScope reports whether node is the kernel function itself or a
+// closure lexically inside it.
+func inKernelScope(node, kernel *FuncNode) bool {
+	for n := node; n != nil; n = n.Parent {
+		if n == kernel {
+			return true
+		}
+	}
+	return false
+}
+
+// impurityPath finds a call chain from start to the first host-side construct
+// reachable without crossing the trusted-runtime boundary, depth-first in
+// source order (deterministic). Returns the chain (ending at the construct)
+// and its description, or nil.
+func impurityPath(prog *Program, start *FuncNode, visited map[*FuncNode]bool) ([]ChainStep, string) {
+	if visited[start] {
+		return nil, ""
+	}
+	visited[start] = true
+	in := prog.intrinsicsOf(start)
+	if len(in.impurity) > 0 {
+		s := in.impurity[0]
+		pos := start.Pkg.Fset.Position(s.pos)
+		return []ChainStep{{Desc: s.desc, File: pos.Filename, Line: pos.Line, Col: pos.Column}}, s.desc
+	}
+	for _, site := range start.Calls {
+		for _, callee := range site.Callees {
+			if isTrustedRuntimePkg(callee.PkgPath) {
+				continue
+			}
+			sub, desc := impurityPath(prog, callee, visited)
+			if sub == nil {
+				continue
+			}
+			pos := start.Pkg.Fset.Position(site.Pos)
+			return append([]ChainStep{{
+				Func: callee.ShortName(), File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			}}, sub...), desc
+		}
+	}
+	return nil, ""
 }
 
 // hasBlockCtxParam reports whether the signature takes a *gpu.BlockCtx (or

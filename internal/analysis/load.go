@@ -39,16 +39,24 @@ type Package struct {
 	TypeErrors []error
 
 	supps []suppression
+	// usedSupps marks directives (by index into supps) that suppressed at
+	// least one finding this run; -strict-ignores reports the rest as stale.
+	usedSupps map[int]bool
 }
 
 // suppressed reports whether rule is suppressed at file:line: a well-formed
-// directive on the same line or the line above covers it.
+// directive on the same line or the line above covers it. Matches are
+// recorded so stale directives can be detected.
 func (p *Package) suppressed(file string, line int, rule string) bool {
-	for _, s := range p.supps {
+	for i, s := range p.supps {
 		if s.rule != rule || s.reason == "" || s.file != file {
 			continue
 		}
 		if s.line == line || s.line == line-1 {
+			if p.usedSupps == nil {
+				p.usedSupps = map[int]bool{}
+			}
+			p.usedSupps[i] = true
 			return true
 		}
 	}
@@ -68,6 +76,10 @@ type Loader struct {
 	checking   map[string]bool // cycle guard
 	fallback   types.Importer
 	typeErrs   []error
+	// memPkgs holds the non-test ASTs of packages built with LoadSource, so
+	// one in-memory fixture package can import another (load the imported
+	// package first).
+	memPkgs map[string][]*ast.File
 }
 
 // NewLoader creates a loader for the module rooted at root (the directory
@@ -211,7 +223,8 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 }
 
 // LoadSource builds a package from in-memory sources (fixture tests). The
-// map key is the file name; diagnostics use it verbatim.
+// map key is the file name; diagnostics use it verbatim. The package is
+// registered so later LoadSource packages can import it by path.
 func (l *Loader) LoadSource(pkgPath string, files map[string]string) (*Package, error) {
 	pkg := &Package{Path: pkgPath, Fset: l.Fset}
 	names := make([]string, 0, len(files))
@@ -224,6 +237,17 @@ func (l *Loader) LoadSource(pkgPath string, files map[string]string) (*Package, 
 			return nil, err
 		}
 	}
+	if l.memPkgs == nil {
+		l.memPkgs = map[string][]*ast.File{}
+	}
+	var nonTest []*ast.File
+	for _, f := range pkg.Files {
+		if !f.Test {
+			nonTest = append(nonTest, f.Ast)
+		}
+	}
+	l.memPkgs[pkgPath] = nonTest
+	delete(l.typesCache, pkgPath) // reloading a fixture path replaces it
 	l.check(pkg)
 	return pkg, nil
 }
@@ -286,6 +310,11 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	if p, ok := l.typesCache[path]; ok {
 		return p, nil
 	}
+	if files, ok := l.memPkgs[path]; ok {
+		p := l.checkFiles(path, files)
+		l.typesCache[path] = p
+		return p, nil
+	}
 	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
 		p := l.importModulePkg(path)
 		l.typesCache[path] = p
@@ -331,6 +360,25 @@ func (l *Loader) importModulePkg(path string) *types.Package {
 		}
 		files = append(files, f)
 	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { l.typeErrs = append(l.typeErrs, err) },
+	}
+	p, _ := conf.Check(path, l.Fset, files, nil) // errors collected via hook
+	if p == nil {
+		return stubPackage(path)
+	}
+	return p
+}
+
+// checkFiles type-checks a set of ASTs as package path, degrading to a stub.
+func (l *Loader) checkFiles(path string, files []*ast.File) *types.Package {
+	if l.checking[path] {
+		l.typeErrs = append(l.typeErrs, fmt.Errorf("import cycle through %q", path))
+		return stubPackage(path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
 	conf := types.Config{
 		Importer: l,
 		Error:    func(err error) { l.typeErrs = append(l.typeErrs, err) },

@@ -10,9 +10,14 @@ import (
 // OS-level schedule), turning a virtual-time wait into a real deadlock —
 // the simulation's single-threaded discipline means code should not need
 // mutexes at all, and one held across Wait is always a bug.
+//
+// Two detections run: a syntactic one for direct wait calls (works without
+// type information), and an effect-summary one that catches a helper call
+// which only parks the Proc deep inside its callees, reported with the full
+// chain. (deadlockorder covers lock holders outside the sim-driven set.)
 var LockedAwaitAnalyzer = &Analyzer{
 	Name:  "lockedawait",
-	Doc:   "forbid holding a mutex across a sim wait/await call in sim-driven packages",
+	Doc:   "forbid holding a mutex across a (transitive) sim wait/await call in sim-driven packages",
 	Match: matchSimDriven,
 	Run:   runLockedAwait,
 }
@@ -46,6 +51,32 @@ func runLockedAwait(pass *Pass) {
 			}
 			return true
 		})
+	}
+	runLockedAwaitInterproc(pass)
+}
+
+// runLockedAwaitInterproc walks each function maintaining the typed held-lock
+// set and reports call sites whose callee summary carries the Blocks effect —
+// a virtual-time park hidden behind any number of helper hops. Sites the
+// syntactic pass already reports (direct wait-method names) are skipped.
+func runLockedAwaitInterproc(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, node := range prog.Nodes {
+		if node.Pkg != pass.Pkg || node.Body() == nil {
+			continue
+		}
+		prog.walkHeldLocks(node, func([]string, *CallSite, lockAcq, *FuncNode) {},
+			func(held []string, site *CallSite, callee *FuncNode) {
+				if callee == nil || blockingCalls[calleeName(site.Call)] {
+					return // direct waits belong to the syntactic pass
+				}
+				pass.ReportfChain(site.Pos, prog.chainFromSite(site, node, callee, EffBlocks),
+					"call of %s while holding mutex %s: it transitively parks the Proc on the scheduler, stalling the simulation",
+					callee.ShortName(), shortLock(held[len(held)-1]))
+			})
 	}
 }
 

@@ -1,0 +1,666 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PartitionedFlowAnalyzer lifts partitionedorder's Psend/Precv state machine
+// across function boundaries. partitionedorder stays intra-function (it owns
+// the straight-line misuse diagnostics); partitionedflow adds exactly the
+// violations that require at least one interprocedural step:
+//
+//   - a helper performs state-machine operations on a request-typed
+//     parameter (directly or through further helpers), and the call site's
+//     tracked state makes those operations illegal — e.g. `kickoff(req)`
+//     calling `readyAll(req)` calling `req.Pready(...)` before the caller
+//     ever issued Start;
+//   - a helper returns a freshly-initialized request (wrapping P*Init),
+//     so tracking starts at the helper call in the caller.
+//
+// Helper behaviour is summarized bottom-up over the call-graph SCCs as an
+// ordered operation list per request-typed parameter. A parameter that
+// escapes the straight-line view (compound control flow, unknown callees,
+// stores, returns) degrades to an opaque summary, and the caller stops
+// tracking at the call — recall traded for zero false positives, the same
+// bargain partitionedorder strikes.
+var PartitionedFlowAnalyzer = &Analyzer{
+	Name:      "partitionedflow",
+	Doc:       "partitioned-API state-machine misuse split across function boundaries (helper-issued Pready before Start, ...)",
+	SkipTests: true, // tests exercise misuse on purpose (mustPanic)
+	Run:       runPartitionedFlow,
+}
+
+// partOp is one state-machine operation a helper applies to a request-typed
+// parameter, in straight-line order.
+type partOp struct {
+	method string // Start, Pready, Parrived, Wait, Test, Free, PbufPrepare
+	part   int    // literal partition argument, -1 when absent/non-literal
+	pos    token.Pos
+	// via is the deeper helper this op was spliced from (nil: direct).
+	via *FuncNode
+}
+
+// partParamSummary describes what a function does to one request parameter.
+type partParamSummary struct {
+	ops    []partOp
+	opaque bool // parameter escapes the straight-line view
+}
+
+// partFnSummary is the per-function partitioned-protocol summary.
+type partFnSummary struct {
+	// params maps parameter index -> summary, only for request-typed params.
+	params map[int]*partParamSummary
+	// retDir is "send"/"recv" when the function returns a freshly
+	// initialized request; retOps are the operations already applied to it
+	// (in order) before it is returned.
+	retDir string
+	retOps []partOp
+}
+
+// partReqTypeNames are the internal/core request types the flow tracks.
+var partReqTypeNames = map[string]bool{
+	"SendRequest": true, "RecvRequest": true, "Prequest": true,
+}
+
+// isPartReqType reports whether t is (a pointer to) one of the request
+// types, and the direction it implies.
+func isPartReqType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/core") &&
+		partReqTypeNames[obj.Name()]
+}
+
+// partStateOps are the state-machine methods the summaries record.
+var partStateOps = map[string]bool{
+	"Start": true, "Pready": true, "Parrived": true, "Wait": true,
+	"Test": true, "Free": true, "PbufPrepare": true,
+}
+
+// partLiteralArg extracts the literal partition argument of an op, by
+// method-specific position.
+func partLiteralArg(method string, call *ast.CallExpr) int {
+	idx := -1
+	switch method {
+	case "Pready":
+		idx = 1 // Pready(p, part)
+	case "Parrived":
+		idx = 0 // Parrived(part)
+	}
+	if idx < 0 || idx >= len(call.Args) {
+		return -1
+	}
+	if v, ok := intLit(call.Args[idx]); ok {
+		return v
+	}
+	return -1
+}
+
+// computePartSummaries fills prog.partSumm bottom-up over the SCCs.
+func (prog *Program) computePartSummaries() {
+	prog.partSumm = make([]*partFnSummary, len(prog.Nodes))
+	for _, comp := range prog.sccs {
+		// Within an SCC, recursion through a request parameter cannot be
+		// summarized straight-line; seed members opaque, then compute once
+		// (a second pass would not refine an opaque-seeded fixpoint).
+		for _, vi := range comp {
+			prog.partSumm[vi] = &partFnSummary{params: map[int]*partParamSummary{}}
+		}
+		for _, vi := range comp {
+			prog.partSumm[vi] = prog.analyzePartFn(prog.Nodes[vi])
+		}
+	}
+}
+
+// reqParamIndexes maps parameter names to indexes for request-typed params.
+func reqParamIndexes(node *FuncNode) map[string]int {
+	info := node.Pkg.Info
+	out := map[string]int{}
+	var ft *ast.FuncType
+	if node.Decl != nil {
+		ft = node.Decl.Type
+	} else {
+		ft = node.Lit.Type
+	}
+	if ft.Params == nil || info == nil {
+		return out
+	}
+	i := 0
+	for _, fld := range ft.Params.List {
+		n := len(fld.Names)
+		if n == 0 {
+			n = 1
+		}
+		for j := 0; j < n; j++ {
+			if j < len(fld.Names) {
+				name := fld.Names[j].Name
+				if tv, ok := info.Types[fld.Type]; ok && isPartReqType(tv.Type) {
+					out[name] = i
+				}
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// analyzePartFn computes one function's summary given current callee
+// summaries.
+func (prog *Program) analyzePartFn(node *FuncNode) *partFnSummary {
+	s := &partFnSummary{params: map[int]*partParamSummary{}}
+	body := node.Body()
+	if body == nil {
+		return s
+	}
+	reqParams := reqParamIndexes(node)
+	for name, idx := range reqParams {
+		s.params[idx] = prog.summarizeParam(node, body, name)
+	}
+	prog.summarizeReturn(node, body, s)
+	return s
+}
+
+// summarizeParam computes the straight-line op list applied to parameter
+// name over the top-level statements of body. Deferred ops run at function
+// exit, which from the caller's perspective is the end of the op sequence,
+// so they are appended (LIFO) after the straight-line ops.
+func (prog *Program) summarizeParam(node *FuncNode, body *ast.BlockStmt, name string) *partParamSummary {
+	ps := &partParamSummary{}
+	var deferred []partOp
+	for _, stmt := range body.List {
+		switch st := stmt.(type) {
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				if usesIdent(st, name) {
+					ps.opaque = true
+					return ps
+				}
+				continue
+			}
+			if ops, ok := prog.opsOfCall(node, call, name); ok {
+				ps.ops = append(ps.ops, ops...)
+				continue
+			}
+			if usesIdent(st, name) {
+				ps.opaque = true
+				return ps
+			}
+		case *ast.DeferStmt:
+			if ops, ok := prog.opsOfCall(node, st.Call, name); ok {
+				deferred = append(append([]partOp{}, ops...), deferred...)
+				continue
+			}
+			if usesIdent(st, name) {
+				ps.opaque = true
+				return ps
+			}
+		case *ast.ReturnStmt:
+			if usesIdent(st, name) {
+				ps.opaque = true
+				return ps
+			}
+			ps.ops = append(ps.ops, deferred...)
+			return ps
+		default:
+			if usesIdent(stmt, name) {
+				ps.opaque = true
+				return ps
+			}
+		}
+	}
+	ps.ops = append(ps.ops, deferred...)
+	return ps
+}
+
+// opsOfCall interprets one call statement with respect to request variable
+// name: a direct state-machine method (`name.Start(p)`), or a helper call
+// passing name whose parameter summary can be spliced in. ok=false means the
+// call does not involve name at all, or involves it in a way that cannot be
+// summarized (the caller then degrades to opaque via usesIdent).
+func (prog *Program) opsOfCall(node *FuncNode, call *ast.CallExpr, name string) ([]partOp, bool) {
+	// Direct method call name.M(...).
+	if id := recvIdent(call); id != nil && id.Name == name {
+		method := calleeName(call)
+		if partStateOps[method] {
+			return []partOp{{method: method, part: partLiteralArg(method, call), pos: call.Pos()}}, true
+		}
+		// Unknown method on the request (NParts, Pending, ...): harmless.
+		for _, arg := range call.Args {
+			if usesIdent(arg, name) {
+				return nil, false
+			}
+		}
+		return nil, true
+	}
+	// Helper call with name as a plain argument.
+	argIdx := -1
+	for i, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && id.Name == name {
+			if argIdx >= 0 {
+				return nil, false // passed twice: too clever to summarize
+			}
+			argIdx = i
+		} else if usesIdent(arg, name) {
+			return nil, false // nested use (field, closure capture, ...)
+		}
+	}
+	if argIdx < 0 {
+		if usesIdent(call.Fun, name) {
+			return nil, false
+		}
+		return nil, true // call does not involve the request
+	}
+	site := prog.siteOf(node, call)
+	if site == nil || len(site.Callees) != 1 || len(site.External) > 0 {
+		return nil, false
+	}
+	callee := site.Callees[0]
+	cs := prog.partSumm[callee.index]
+	if cs == nil {
+		return nil, false
+	}
+	psum, ok := cs.params[argIdx]
+	if !ok {
+		// Callee does not treat this position as a request parameter
+		// (degraded type info): be conservative.
+		return nil, false
+	}
+	if psum.opaque {
+		return nil, false
+	}
+	ops := make([]partOp, len(psum.ops))
+	for i, op := range psum.ops {
+		spliced := op
+		spliced.pos = call.Pos()
+		if spliced.via == nil {
+			spliced.via = callee
+		}
+		ops[i] = spliced
+	}
+	return ops, true
+}
+
+// siteOf finds the recorded call site of call inside node.
+func (prog *Program) siteOf(node *FuncNode, call *ast.CallExpr) *CallSite {
+	for _, s := range node.Calls {
+		if s.Call == call {
+			return s
+		}
+	}
+	return nil
+}
+
+// summarizeReturn detects the returns-fresh-request pattern: a local bound
+// to P*Init (or to a returns-init helper), operated on in straight lines,
+// then returned.
+func (prog *Program) summarizeReturn(node *FuncNode, body *ast.BlockStmt, s *partFnSummary) {
+	var local string
+	var dir string
+	var ops []partOp
+	for _, stmt := range body.List {
+		switch st := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				if local != "" && usesIdent(st, local) {
+					return
+				}
+				continue
+			}
+			lhs, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				if lhs.Name == local {
+					return // rebound
+				}
+				continue
+			}
+			if d, isInit := partInitCalls[calleeName(call)]; isInit {
+				local, dir, ops = lhs.Name, d, nil
+				continue
+			}
+			if site := prog.siteOf(node, call); site != nil && len(site.Callees) == 1 {
+				ccs := prog.partSumm[site.Callees[0].index]
+				if ccs != nil && ccs.retDir != "" {
+					local, dir = lhs.Name, ccs.retDir
+					ops = append([]partOp{}, ccs.retOps...)
+					for i := range ops {
+						ops[i].pos = call.Pos()
+						if ops[i].via == nil {
+							ops[i].via = site.Callees[0]
+						}
+					}
+					continue
+				}
+			}
+			if lhs.Name == local {
+				return
+			}
+		case *ast.ExprStmt:
+			if local == "" {
+				continue
+			}
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if o, ok := prog.opsOfCall(node, call, local); ok {
+					ops = append(ops, o...)
+					continue
+				}
+			}
+			if usesIdent(st, local) {
+				return
+			}
+		case *ast.ReturnStmt:
+			if local == "" {
+				return
+			}
+			if len(st.Results) == 1 {
+				if id, ok := ast.Unparen(st.Results[0]).(*ast.Ident); ok && id.Name == local {
+					s.retDir, s.retOps = dir, ops
+				}
+			}
+			return
+		default:
+			if local != "" && usesIdent(stmt, local) {
+				return
+			}
+		}
+	}
+}
+
+// ---- the analyzer: caller-side interprocedural state machine ----
+
+// flowReq is the tracked state of one request variable in the caller walk.
+type flowReq struct {
+	dir     string
+	nparts  int
+	started bool
+	freed   bool
+	readied map[int]bool
+	// interproc marks state that involved at least one cross-function step
+	// (init via helper); only such findings are reported here.
+	interproc bool
+}
+
+func runPartitionedFlow(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, node := range prog.Nodes {
+		if node.Pkg != pass.Pkg || node.Body() == nil {
+			continue
+		}
+		if node.File != nil && node.File.Test {
+			continue
+		}
+		pass.flowScanBlock(node, node.Body(), map[string]*flowReq{})
+	}
+}
+
+// flowScanBlock mirrors partitionedorder's straight-line discipline: track
+// only what stays in straight lines, drop on compound statements, rescan
+// nested blocks fresh.
+func (pass *Pass) flowScanBlock(node *FuncNode, block *ast.BlockStmt, reqs map[string]*flowReq) {
+	prog := pass.Prog
+	for _, stmt := range block.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			pass.flowTrackInit(node, s, reqs)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				pass.flowStepCall(node, call, reqs)
+			}
+		case *ast.DeferStmt:
+			if id := recvIdent(s.Call); id != nil {
+				delete(reqs, id.Name)
+			} else {
+				for name := range reqs {
+					if usesIdent(s.Call, name) {
+						delete(reqs, name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			return
+		default:
+			for name := range reqs {
+				if usesIdent(stmt, name) {
+					delete(reqs, name)
+				}
+			}
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false // literals are their own nodes
+				}
+				if b, ok := m.(*ast.BlockStmt); ok {
+					pass.flowScanBlock(node, b, map[string]*flowReq{})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	_ = prog
+}
+
+// flowTrackInit starts tracking direct inits (interproc=false) and
+// helper-returned inits (interproc=true, with the helper's pre-applied ops).
+func (pass *Pass) flowTrackInit(node *FuncNode, s *ast.AssignStmt, reqs map[string]*flowReq) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		for name := range reqs {
+			if usesIdent(s, name) {
+				delete(reqs, name)
+			}
+		}
+		return
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		delete(reqs, lhs.Name)
+		return
+	}
+	name := calleeName(call)
+	if dir, isInit := partInitCalls[name]; isInit {
+		r := &flowReq{dir: dir, nparts: -1, readied: map[int]bool{}}
+		if !strings.HasSuffix(name, "Parts") && len(call.Args) == 6 {
+			if n, ok := intLit(call.Args[5]); ok {
+				r.nparts = n
+			}
+		}
+		reqs[lhs.Name] = r
+		return
+	}
+	// Helper-returned request.
+	if site := pass.Prog.siteOf(node, call); site != nil && len(site.Callees) == 1 {
+		cs := pass.Prog.partSumm[site.Callees[0].index]
+		if cs != nil && cs.retDir != "" {
+			r := &flowReq{dir: cs.retDir, nparts: -1, readied: map[int]bool{}, interproc: true}
+			reqs[lhs.Name] = r
+			for _, op := range cs.retOps {
+				pass.flowApplyOp(lhs.Name, r, op, site.Callees[0], call.Pos())
+			}
+			return
+		}
+	}
+	delete(reqs, lhs.Name)
+}
+
+// flowStepCall advances tracked state for a statement-level call: direct
+// request methods keep the machine in sync silently (partitionedorder owns
+// those diagnostics); helper calls splice the callee's summarized ops and
+// report violations with the call chain.
+func (pass *Pass) flowStepCall(node *FuncNode, call *ast.CallExpr, reqs map[string]*flowReq) {
+	prog := pass.Prog
+	// Direct method on a tracked request.
+	if id := recvIdent(call); id != nil {
+		if r, ok := reqs[id.Name]; ok {
+			method := calleeName(call)
+			if partStateOps[method] {
+				op := partOp{method: method, part: partLiteralArg(method, call), pos: call.Pos()}
+				pass.flowApplyOp(id.Name, r, op, nil, call.Pos())
+			}
+			return
+		}
+	}
+	// Helper call taking a tracked request.
+	for name, r := range reqs {
+		argIdx := -1
+		involved := false
+		for i, arg := range call.Args {
+			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok && aid.Name == name {
+				if argIdx >= 0 {
+					involved = true // passed twice
+					break
+				}
+				argIdx = i
+			} else if usesIdent(arg, name) {
+				involved = true
+				break
+			}
+		}
+		if involved {
+			delete(reqs, name)
+			continue
+		}
+		if argIdx < 0 {
+			continue
+		}
+		site := prog.siteOf(node, call)
+		if site == nil || len(site.Callees) != 1 || len(site.External) > 0 {
+			delete(reqs, name)
+			continue
+		}
+		callee := site.Callees[0]
+		cs := prog.partSumm[callee.index]
+		var psum *partParamSummary
+		if cs != nil {
+			psum = cs.params[argIdx]
+		}
+		if psum == nil || psum.opaque {
+			delete(reqs, name)
+			continue
+		}
+		for _, op := range psum.ops {
+			spliced := op
+			if spliced.via == nil {
+				spliced.via = callee
+			}
+			pass.flowApplyOp(name, r, spliced, callee, call.Pos())
+		}
+	}
+}
+
+// flowApplyOp advances the state machine by one op and reports
+// interprocedural violations. via is the helper the op arrived through (nil
+// for a direct caller-side op); reportPos anchors the diagnostic at the
+// caller's call site.
+func (pass *Pass) flowApplyOp(name string, r *flowReq, op partOp, via *FuncNode, reportPos token.Pos) {
+	interproc := via != nil || r.interproc
+	report := func(format string, args ...interface{}) {
+		if !interproc {
+			return // partitionedorder owns purely local findings
+		}
+		msg := fmt.Sprintf(format, args...)
+		var chain []ChainStep
+		if via != nil {
+			chain = pass.opChain(via, op)
+		}
+		pass.ReportfChain(reportPos, chain, "%s", msg)
+	}
+	viaDesc := ""
+	if op.via != nil {
+		viaDesc = fmt.Sprintf(" (issued inside %s)", op.via.ShortName())
+	}
+	if r.freed {
+		report("%s on freed request %s%s: use after Free", op.method, name, viaDesc)
+		return
+	}
+	switch op.method {
+	case "Start":
+		if r.started {
+			report("Start on already-started request %s%s: missing Wait between epochs", name, viaDesc)
+		}
+		r.started = true
+		r.readied = map[int]bool{}
+	case "PbufPrepare":
+		if !r.started {
+			report("PbufPrepare before Start on request %s%s", name, viaDesc)
+		}
+	case "Pready":
+		if !r.started {
+			report("Pready before Start on request %s%s", name, viaDesc)
+		}
+		if op.part >= 0 {
+			if r.nparts >= 0 && op.part >= r.nparts {
+				report("Pready partition %d out of range [0,%d) on request %s%s", op.part, r.nparts, name, viaDesc)
+			} else if r.readied[op.part] {
+				report("duplicate Pready of partition %d on request %s%s in the same epoch", op.part, name, viaDesc)
+			}
+			r.readied[op.part] = true
+		}
+	case "Parrived":
+		if op.part >= 0 && r.nparts >= 0 && op.part >= r.nparts {
+			report("Parrived partition %d out of range [0,%d) on request %s%s", op.part, r.nparts, name, viaDesc)
+		}
+	case "Wait":
+		if !r.started {
+			report("Wait before Start on request %s%s", name, viaDesc)
+		}
+		r.started = false
+	case "Test":
+		r.started = false
+	case "Free":
+		if r.started {
+			report("Free of request %s%s inside an active epoch (missing Wait)", name, viaDesc)
+		}
+		r.freed = true
+	}
+	if via != nil {
+		r.interproc = true
+	}
+}
+
+// opChain renders the helper chain of an op: the entered helper, then the
+// deeper helper the op was spliced from, ending at the operation site.
+func (pass *Pass) opChain(entered *FuncNode, op partOp) []ChainStep {
+	var steps []ChainStep
+	add := func(n *FuncNode, pos token.Pos) {
+		p := n.Pkg.Fset.Position(pos)
+		steps = append(steps, ChainStep{Func: n.ShortName(), File: p.Filename, Line: p.Line, Col: p.Column})
+	}
+	add(entered, entered.Pos())
+	if op.via != nil && op.via != entered {
+		add(op.via, op.via.Pos())
+	}
+	final := entered
+	if op.via != nil {
+		final = op.via
+	}
+	p := final.Pkg.Fset.Position(op.opPos())
+	steps = append(steps, ChainStep{Desc: op.method, File: p.Filename, Line: p.Line, Col: p.Column})
+	return steps
+}
+
+// opPos returns the best-known position of the underlying operation.
+func (op partOp) opPos() token.Pos { return op.pos }

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF 2.1.0 output (the static-analysis interchange format GitHub code
+// scanning ingests). Only the fields the suite needs are modelled; findings
+// map to results, and interprocedural chains map to codeFlows so a viewer
+// can step through the call path from the reported site to the intrinsic
+// construct.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+	CodeFlows []sarifCodeFlow `json:"codeFlows,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+	Message          *sarifText    `json:"message,omitempty"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifCodeFlow struct {
+	ThreadFlows []sarifThreadFlow `json:"threadFlows"`
+}
+
+type sarifThreadFlow struct {
+	Locations []sarifThreadFlowLoc `json:"locations"`
+}
+
+type sarifThreadFlowLoc struct {
+	Location sarifLocation `json:"location"`
+}
+
+// WriteSARIF prints diagnostics as a SARIF 2.1.0 log. The rule table lists
+// the full suite plus the synthetic directive rules so every result's ruleId
+// resolves.
+func WriteSARIF(w io.Writer, diags []Diagnostic) error {
+	driver := sarifDriver{Name: "mpivet"}
+	for _, a := range Analyzers() {
+		driver.Rules = append(driver.Rules, sarifRule{ID: a.Name, ShortDescription: sarifText{Text: a.Doc}})
+	}
+	driver.Rules = append(driver.Rules,
+		sarifRule{ID: "lint-directive", ShortDescription: sarifText{Text: "malformed lint:ignore directive (missing reason)"}},
+		sarifRule{ID: "stale-ignore", ShortDescription: sarifText{Text: "lint:ignore directive that no longer suppresses anything"}},
+	)
+	results := []sarifResult{}
+	for _, d := range diags {
+		r := sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.File},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		}
+		if len(d.Chain) > 0 {
+			tf := sarifThreadFlow{}
+			for _, step := range d.Chain {
+				label := step.Func
+				if label == "" {
+					label = step.Desc
+				}
+				tf.Locations = append(tf.Locations, sarifThreadFlowLoc{
+					Location: sarifLocation{
+						PhysicalLocation: sarifPhysical{
+							ArtifactLocation: sarifArtifact{URI: step.File},
+							Region:           sarifRegion{StartLine: step.Line, StartColumn: step.Col},
+						},
+						Message: &sarifText{Text: label},
+					},
+				})
+			}
+			r.CodeFlows = []sarifCodeFlow{{ThreadFlows: []sarifThreadFlow{tf}}}
+		}
+		results = append(results, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	})
+}

@@ -46,14 +46,80 @@ var bannedTimeIdents = map[string]bool{
 
 // SimclockAnalyzer forbids wall-clock time in sim-driven packages: all
 // simulated time must be charged through the virtual clock in internal/sim.
+// Besides direct time.* uses, the rule is taint-based: a helper outside the
+// sim-driven set that returns a wall-clock-derived value (time.Now laundered
+// through any number of intermediate functions) is reported at the sim-side
+// call site with the laundering chain, as is any call whose callee's effect
+// summary shows it transitively reads the wall clock.
 var SimclockAnalyzer = &Analyzer{
 	Name:  "simclock",
-	Doc:   "forbid wall-clock time (time.Now/Sleep/Since/Timer/Ticker) in sim-driven packages",
+	Doc:   "forbid wall-clock time in sim-driven packages, including laundered through helper functions",
 	Match: matchSimDriven,
 	Run:   runSimclock,
 }
 
 func runSimclock(pass *Pass) {
+	runSimclockDirect(pass)
+	runSimclockInterproc(pass)
+}
+
+// runSimclockInterproc reports sim-driven call sites whose callee lives
+// outside the sim-driven set (so the direct rule never sees its body) and
+// either returns a wall-clock-derived value (taint summary) or transitively
+// reads the wall clock (effect summary).
+func runSimclockInterproc(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, node := range prog.Nodes {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		for _, site := range node.Calls {
+			for _, callee := range site.Callees {
+				if matchSimDriven(callee.PkgPath) {
+					continue // the direct rule fires inside the callee itself
+				}
+				returnsTaint, _ := prog.TaintOf(callee)
+				switch {
+				case returnsTaint:
+					pass.ReportfChain(site.Pos, wallClockTaintChain(prog, site, node, callee),
+						"wall-clock-derived value returned by %s into sim-driven package %s: charge virtual time through internal/sim instead",
+						callee.ShortName(), pass.Pkg.Path)
+				case prog.Summary(callee).Effects.Has(EffReadsWallClock):
+					pass.ReportfChain(site.Pos, prog.chainFromSite(site, node, callee, EffReadsWallClock),
+						"call of %s in sim-driven package %s transitively reads the wall clock",
+						callee.ShortName(), pass.Pkg.Path)
+				}
+			}
+		}
+	}
+}
+
+// wallClockTaintChain renders the laundering chain of a returns-taint callee:
+// call site -> helper -> ... -> the intrinsic time.* source.
+func wallClockTaintChain(prog *Program, site *CallSite, owner, callee *FuncNode) []ChainStep {
+	pos := owner.Pkg.Fset.Position(site.Pos)
+	steps := []ChainStep{{Func: callee.ShortName(), File: pos.Filename, Line: pos.Line, Col: pos.Column}}
+	cur := callee
+	for hop := 0; cur != nil && hop < 20; hop++ {
+		s := prog.taint[cur.index]
+		if !s.returnsTaint {
+			break
+		}
+		p := cur.Pkg.Fset.Position(s.srcPos)
+		if s.via == nil {
+			steps = append(steps, ChainStep{Desc: s.src, File: p.Filename, Line: p.Line, Col: p.Column})
+			break
+		}
+		steps = append(steps, ChainStep{Func: s.via.ShortName(), File: p.Filename, Line: p.Line, Col: p.Column})
+		cur = s.via
+	}
+	return steps
+}
+
+func runSimclockDirect(pass *Pass) {
 	for _, f := range pass.Files() {
 		local, imported := importName(f.Ast, "time")
 		if !imported {

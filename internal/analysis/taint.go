@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A small forward taint engine over declared sources. The concrete client is
+// simclock: a wall-clock reading (time.Now, time.Since, ...) is a source;
+// the engine tracks the value through local assignments, arithmetic,
+// conversions, method calls on tainted receivers, and — interprocedurally —
+// through module helpers, via per-function summaries computed bottom-up over
+// the SCC condensation:
+//
+//   - returnsTaint: the function can return a wall-clock-derived value
+//     regardless of its arguments (e.g. `func stamp() time.Time { return
+//     time.Now() }`);
+//   - paramToReturn: bitmask of parameters that can flow into a return value
+//     (e.g. `func secs(d time.Duration) float64 { return d.Seconds() }`
+//     propagates taint from parameter 0).
+//
+// The engine is ident-granular and flow-insensitive within compound
+// statements: an identifier once tainted stays tainted for the rest of the
+// function. That overapproximates, which for a lint that feeds a
+// human-reviewed diagnostic is the right trade.
+
+// taintSummary is the per-function interprocedural taint behaviour.
+type taintSummary struct {
+	returnsTaint  bool
+	paramToReturn uint64 // bit i: param i flows to a return value
+	// src describes where the intrinsic taint originates (returnsTaint only).
+	src    string
+	srcPos token.Pos
+	// via is the callee through which returnsTaint arrived (nil: intrinsic).
+	via *FuncNode
+}
+
+// wallClockSources classifies a call-expression callee as an intrinsic taint
+// source, returning its description.
+func wallClockSource(ext ExtCallee) (string, bool) {
+	if ext.PkgPath == "time" && bannedTimeIdents[ext.Name] {
+		return "time." + ext.Name, true
+	}
+	return "", false
+}
+
+// computeTaint fills prog.taint bottom-up.
+func (prog *Program) computeTaint() {
+	prog.taint = make([]taintSummary, len(prog.Nodes))
+	for _, comp := range prog.sccs {
+		for changed := true; changed; {
+			changed = false
+			for _, vi := range comp {
+				node := prog.Nodes[vi]
+				if node.Body() == nil {
+					continue
+				}
+				s := prog.analyzeTaint(node)
+				old := prog.taint[vi]
+				if s.returnsTaint != old.returnsTaint || s.paramToReturn != old.paramToReturn {
+					prog.taint[vi] = s
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// taintState tracks the tainted identifiers of one function walk, with the
+// provenance of the first taint per identifier.
+type taintState struct {
+	node   *FuncNode
+	prog   *Program
+	info   *types.Info
+	params map[string]int // param name -> index
+	// tainted maps an identifier name to its provenance chain.
+	tainted map[string]taintProv
+	// paramsTainted marks "treat parameter i as tainted" (summary pass).
+	paramsTainted uint64
+}
+
+// taintProv records where a tainted value came from, for diagnostics.
+type taintProv struct {
+	desc  string    // source description, e.g. "time.Now"
+	pos   token.Pos // source position
+	via   *FuncNode // helper through which it was laundered (nil: direct)
+	param int       // >= 0: taint is "parameter param is tainted" (summaries)
+}
+
+func newTaintState(prog *Program, node *FuncNode) *taintState {
+	st := &taintState{
+		node: node, prog: prog, info: node.Pkg.Info,
+		params:  map[string]int{},
+		tainted: map[string]taintProv{},
+	}
+	var ft *ast.FuncType
+	if node.Decl != nil {
+		ft = node.Decl.Type
+	} else {
+		ft = node.Lit.Type
+	}
+	if ft.Params != nil {
+		i := 0
+		for _, fld := range ft.Params.List {
+			for _, name := range fld.Names {
+				st.params[name.Name] = i
+				i++
+			}
+			if len(fld.Names) == 0 {
+				i++
+			}
+		}
+	}
+	return st
+}
+
+// exprTaint returns the provenance of e's taint, if any. When the taint
+// reduces to "depends on parameter i", prov.param holds i.
+func (st *taintState) exprTaint(e ast.Expr) (taintProv, bool) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if p, ok := st.tainted[t.Name]; ok {
+			return p, true
+		}
+		if i, ok := st.params[t.Name]; ok && st.paramsTainted&(1<<uint(i)) != 0 {
+			return taintProv{desc: "parameter " + t.Name, pos: t.Pos(), param: i}, true
+		}
+		return taintProv{}, false
+	case *ast.BinaryExpr:
+		if p, ok := st.exprTaint(t.X); ok {
+			return p, true
+		}
+		return st.exprTaint(t.Y)
+	case *ast.UnaryExpr:
+		return st.exprTaint(t.X)
+	case *ast.StarExpr:
+		return st.exprTaint(t.X)
+	case *ast.SelectorExpr:
+		// Field read or method value on a tainted base.
+		return st.exprTaint(t.X)
+	case *ast.IndexExpr:
+		return st.exprTaint(t.X)
+	case *ast.CallExpr:
+		return st.callTaint(t)
+	case *ast.KeyValueExpr:
+		return st.exprTaint(t.Value)
+	case *ast.CompositeLit:
+		for _, el := range t.Elts {
+			if p, ok := st.exprTaint(el); ok {
+				return p, true
+			}
+		}
+	}
+	return taintProv{}, false
+}
+
+// callTaint classifies a call's result taint: intrinsic sources, conversions
+// of tainted values, summary-carrying module helpers, and method calls on
+// tainted receivers (time.Time.Sub and friends).
+func (st *taintState) callTaint(call *ast.CallExpr) (taintProv, bool) {
+	// Conversion T(x) keeps x's taint.
+	if st.info != nil {
+		if tv, ok := st.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return st.exprTaint(call.Args[0])
+		}
+	}
+	// A method call on a tainted receiver yields taint (d.Seconds(), ...).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if st.info != nil {
+			if _, isSel := st.info.Selections[sel]; isSel {
+				if p, ok := st.exprTaint(sel.X); ok {
+					return p, true
+				}
+			}
+		}
+	}
+	// Resolve the callee through the call graph for source/summary checks.
+	site := st.siteFor(call)
+	if site != nil {
+		for _, ext := range site.External {
+			if desc, ok := wallClockSource(ext); ok {
+				return taintProv{desc: desc, pos: call.Pos(), param: -1}, true
+			}
+		}
+		for _, callee := range site.Callees {
+			cs := st.prog.taint[callee.index]
+			if cs.returnsTaint {
+				return taintProv{desc: callee.ShortName(), pos: call.Pos(), via: callee, param: -1}, true
+			}
+			if cs.paramToReturn != 0 {
+				for i, arg := range call.Args {
+					if i < 64 && cs.paramToReturn&(1<<uint(i)) != 0 {
+						if p, ok := st.exprTaint(arg); ok {
+							p.via = callee
+							return p, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return taintProv{}, false
+}
+
+// siteFor finds the recorded call site for call, or nil.
+func (st *taintState) siteFor(call *ast.CallExpr) *CallSite {
+	for _, s := range st.node.Calls {
+		if s.Call == call {
+			return s
+		}
+	}
+	return nil
+}
+
+// walkAssigns propagates taint through the function body's assignments in
+// a single forward pass (nested literals excluded — they are their own
+// nodes and get their own summaries).
+func (st *taintState) walkAssigns() {
+	body := st.node.Body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(m ast.Node) bool {
+		switch t := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range t.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(t.Rhs) == len(t.Lhs) {
+					rhs = t.Rhs[i]
+				} else if len(t.Rhs) == 1 {
+					rhs = t.Rhs[0] // multi-value call: taint flows to every lhs
+				}
+				if rhs == nil {
+					continue
+				}
+				if p, ok := st.exprTaint(rhs); ok {
+					if _, already := st.tainted[id.Name]; !already {
+						st.tainted[id.Name] = p
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// analyzeTaint computes node's taint summary given the current summaries of
+// its callees (monotone; iterated to fixpoint within SCCs).
+func (prog *Program) analyzeTaint(node *FuncNode) taintSummary {
+	s := taintSummary{}
+	// Pass A: no parameters tainted — detects intrinsic returnsTaint.
+	// Pass B: all parameters tainted — detects paramToReturn.
+	for pass := 0; pass < 2; pass++ {
+		st := newTaintState(prog, node)
+		if pass == 1 {
+			st.paramsTainted = ^uint64(0)
+		}
+		// Two propagation rounds let simple forward-define-then-use chains
+		// settle (the map is monotone, so this underapproximates loops
+		// carrying taint backwards — acceptable for a linter).
+		st.walkAssigns()
+		st.walkAssigns()
+		body := node.Body()
+		if body == nil {
+			break
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			ret, ok := m.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				p, tainted := st.exprTaint(res)
+				if !tainted {
+					continue
+				}
+				if pass == 0 && p.param < 0 {
+					if !s.returnsTaint {
+						s.returnsTaint = true
+						s.src, s.srcPos, s.via = p.desc, p.pos, p.via
+					}
+				}
+				if pass == 1 && p.param >= 0 && p.param < 64 {
+					s.paramToReturn |= 1 << uint(p.param)
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// TaintOf exposes the taint summary for tests and the -summary dump.
+func (prog *Program) TaintOf(node *FuncNode) (returnsWallClock bool, paramMask uint64) {
+	s := prog.taint[node.index]
+	return s.returnsTaint, s.paramToReturn
+}
