@@ -22,9 +22,20 @@
 //	benchgate -workers 8 | -seq                   # pool size (default GOMAXPROCS)
 //	benchgate -perf BENCH_PERF.json               # host-perf sidecar (default)
 //	benchgate -cpuprofile cpu.pprof -memprofile mem.pprof
+//	benchgate -shuffle-seeds 16                   # schedule-invariance fuzz
+//
+// With -shuffle-seeds N the gate additionally re-runs the entire sweep N
+// times under seeded schedule perturbation (sim.SetShuffleSeed): same-time
+// event and run-queue tie-breaks are randomized per seed while virtual-time
+// semantics are untouched. Every perturbed run must produce a golden
+// encoding byte-identical to the unperturbed run — any divergence is a
+// reproducible witness that a metric depends on arrival order among
+// simultaneous events, which real hardware does not guarantee. The failure
+// diff goes to -shuffle-report (and stderr).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +59,11 @@ func main() {
 		perf       = flag.String("perf", "BENCH_PERF.json", "write host-perf stats (wall time, dispatches/sec) to this file; '' disables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the gate run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the gate run to this file")
+
+		shuffleSeeds = flag.Int("shuffle-seeds", 0,
+			"re-run the sweep under N schedule-perturbation seeds and require byte-identical goldens; 0 disables")
+		shuffleReport = flag.String("shuffle-report", "",
+			"write the schedule-invariance failure diff to this file (with -shuffle-seeds)")
 	)
 	flag.Parse()
 	if *write != "" && *check != "" {
@@ -127,6 +143,15 @@ func main() {
 		}
 	}
 
+	if *shuffleSeeds > 0 {
+		t1 := time.Now()
+		if err := verifyShuffleInvariance(got, *shuffleSeeds, *workers, *shuffleReport); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: %d shuffle seeds byte-identical in %.1fs\n",
+			*shuffleSeeds, time.Since(t1).Seconds())
+	}
+
 	if *write != "" {
 		b, err := bench.EncodeGolden(got)
 		if err != nil {
@@ -164,6 +189,42 @@ func main() {
 			wall, *wallFactor, golden.WallMS)
 		os.Exit(1)
 	}
+}
+
+// verifyShuffleInvariance re-runs the full gate sweep under n schedule-
+// perturbation seeds and requires every perturbed run's golden encoding to
+// be byte-identical to the baseline (host-only fields — description, arch,
+// wall time — normalized away). Each seed gets a fresh runner: the memo
+// cache keys on experiment configuration only, so a shared runner would
+// hand back the previous seed's metrics instead of recomputing under the
+// new schedule.
+func verifyShuffleInvariance(base bench.Golden, n, workers int, reportPath string) error {
+	norm := func(g bench.Golden) []byte {
+		g.Description, g.GOARCH, g.WallMS = "", "", 0
+		b, err := bench.EncodeGolden(g)
+		if err != nil {
+			fatal(err)
+		}
+		return b
+	}
+	want := norm(base)
+	for seed := 1; seed <= n; seed++ {
+		sim.SetShuffleSeed(int64(seed))
+		g := bench.CollectGolden(runner.New(workers), nil)
+		sim.SetShuffleSeed(0)
+		if !bytes.Equal(norm(g), want) {
+			out := fmt.Sprintf("schedule-invariance failure under shuffle seed %d:\n%s",
+				seed, bench.FormatDiffs(base.Compare(g)))
+			if reportPath != "" {
+				if err := os.WriteFile(reportPath, []byte(out), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "benchgate:", err)
+				}
+			}
+			fmt.Fprint(os.Stderr, out)
+			return fmt.Errorf("golden metrics depend on tie-break schedule (shuffle seed %d of %d)", seed, n)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

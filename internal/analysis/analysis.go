@@ -134,6 +134,9 @@ func Analyzers() []*Analyzer {
 		ErrcheckAnalyzer,
 		ExhaustiveAnalyzer,
 		HotPathAllocAnalyzer,
+		MapOrderAnalyzer,
+		FloatOrderAnalyzer,
+		SelectNondetAnalyzer,
 	}
 }
 

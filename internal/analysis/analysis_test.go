@@ -265,6 +265,20 @@ func f() {
 			},
 		},
 		{
+			name:     "errcheck_examples_scope",
+			analyzer: "errcheck-lite",
+			pkgPath:  "mpipart/examples/fixture",
+			src: `package fixture
+func fail() error { return nil }
+func f() {
+	fail()
+}
+`,
+			want: []string{
+				"result of fail(...) is ignored",
+			},
+		},
+		{
 			name:     "exhaustive_bad",
 			analyzer: "exhaustive-mech",
 			pkgPath:  "mpipart/internal/fixture",

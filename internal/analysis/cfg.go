@@ -1,0 +1,483 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs over go/ast, the
+// substrate of the flow-sensitive determinism analyzers (maporder,
+// floatorder, selectnondet, and the typestate form of partitionedflow).
+// The straight-line analyzers of v1/v2 traded recall for simplicity by
+// dropping tracked state at every compound statement; the CFG keeps the
+// state flowing through branches, loops and switches so violations that
+// exist only on one path become expressible.
+//
+// The graph is statement-granular: each basic block holds a run of
+// ast.Node entries (simple statements, plus branch conditions as bare
+// expressions) executed in order, and edges to its successors. Constructs
+// handled structurally:
+//
+//   - if/else, for, range, switch (incl. fallthrough), type switch, select
+//   - labeled break/continue, goto (forward and backward)
+//   - short-circuit && / || in branch conditions, desugared into separate
+//     condition blocks so a fact can differ between the two evaluation paths
+//   - return, and statement-level panic(...) calls, both edged to the
+//     synthetic exit block
+//
+// Nested function literals are NOT traversed — they are separate call-graph
+// nodes with their own CFGs (the same ownership rule every other layer of
+// the engine follows).
+
+// CFGBlock is one basic block.
+type CFGBlock struct {
+	Index int
+	// Nodes are the block's statements and branch-condition expressions in
+	// execution order.
+	Nodes []ast.Node
+	Succs []*CFGBlock
+	Preds []*CFGBlock
+	// Cond is set on condition blocks: the expression that decides between
+	// Succs[0] (true) and Succs[1] (false). Nil otherwise.
+	Cond ast.Expr
+	// reachable marks blocks reachable from the entry; dataflow clients skip
+	// the rest (code after return/panic, orphaned labels).
+	reachable bool
+}
+
+// Pos returns a representative position for diagnostics: the first node,
+// or the condition.
+func (b *CFGBlock) Pos() token.Pos {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[0].Pos()
+	}
+	if b.Cond != nil {
+		return b.Cond.Pos()
+	}
+	return token.NoPos
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*CFGBlock // Blocks[0] == Entry; Exit is always last
+	Entry  *CFGBlock
+	Exit   *CFGBlock
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (c *CFG) Reachable(b *CFGBlock) bool { return b.reachable }
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *CFGBlock
+	// loop targets, innermost last. label is "" for unlabeled loops/switches.
+	breaks    []cfgTarget
+	continues []cfgTarget
+	// labels maps a label name to its target block (for goto). Forward gotos
+	// are patched once the label is seen.
+	labels       map[string]*CFGBlock
+	pendingGotos map[string][]*CFGBlock
+	// pendingLabel is consumed by the next loop/switch/select statement so
+	// `L: for ...` registers L as its break/continue label.
+	pendingLabel string
+}
+
+type cfgTarget struct {
+	label string
+	block *CFGBlock
+}
+
+// BuildCFG constructs the CFG of a function body. The body may be nil
+// (declaration without body): the result is then an empty entry->exit graph.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:          &CFG{},
+		labels:       map[string]*CFGBlock{},
+		pendingGotos: map[string][]*CFGBlock{},
+	}
+	entry := b.newBlock()
+	b.cfg.Entry = entry
+	b.cur = entry
+	exit := b.newBlock() // created early so panic/return can edge to it
+	b.cfg.Exit = exit
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, exit)
+	// Unresolved gotos (labels that never appeared — invalid Go, but the
+	// analyzer must not crash on partial code): edge to exit.
+	for _, srcs := range b.pendingGotos {
+		for _, src := range srcs {
+			b.edge(src, exit)
+		}
+	}
+	// Move the exit block to the end for readability of dumps.
+	for i, blk := range b.cfg.Blocks {
+		if blk == exit && i != len(b.cfg.Blocks)-1 {
+			b.cfg.Blocks = append(append(b.cfg.Blocks[:i], b.cfg.Blocks[i+1:]...), exit)
+			break
+		}
+	}
+	for i, blk := range b.cfg.Blocks {
+		blk.Index = i
+	}
+	markReachable(b.cfg)
+	return b.cfg
+}
+
+func markReachable(c *CFG) {
+	var stack []*CFGBlock
+	c.Entry.reachable = true
+	stack = append(stack, c.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !s.reachable {
+				s.reachable = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+func (b *cfgBuilder) newBlock() *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *CFGBlock) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// startBlock switches the current block to a fresh one without linking it:
+// used after terminal statements (return, break, panic) where following
+// statements are unreachable until a label targets them.
+func (b *cfgBuilder) startBlock() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// stmt appends one statement's subgraph.
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch t := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(t.List)
+
+	case *ast.IfStmt:
+		if t.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, t.Init)
+		}
+		thenB := b.newBlock()
+		var elseB *CFGBlock
+		join := b.newBlock()
+		if t.Else != nil {
+			elseB = b.newBlock()
+		} else {
+			elseB = join
+		}
+		b.cond(t.Cond, thenB, elseB)
+		b.cur = thenB
+		b.stmtList(t.Body.List)
+		b.edge(b.cur, join)
+		if t.Else != nil {
+			b.cur = elseB
+			b.stmt(t.Else)
+			b.edge(b.cur, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if t.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, t.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		post := head
+		if t.Post != nil {
+			post = b.newBlock()
+		}
+		b.edge(b.cur, head)
+		b.cur = head
+		if t.Cond != nil {
+			b.cond(t.Cond, body, exit)
+		} else {
+			b.edge(b.cur, body)
+		}
+		if label != "" {
+			b.labels[label] = head
+			b.patchGotos(label, head)
+		}
+		b.pushLoop(label, exit, post)
+		b.cur = body
+		b.stmtList(t.Body.List)
+		b.popLoop()
+		b.edge(b.cur, post)
+		if t.Post != nil {
+			b.cur = post
+			b.cur.Nodes = append(b.cur.Nodes, t.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.edge(b.cur, head)
+		// The RangeStmt itself sits in the head block so transfer functions
+		// see the iteration (and its key/value bindings) once per entry.
+		head.Nodes = append(head.Nodes, t)
+		b.edge(head, body)
+		b.edge(head, exit)
+		if label != "" {
+			b.labels[label] = head
+			b.patchGotos(label, head)
+		}
+		b.pushLoop(label, exit, head)
+		b.cur = body
+		b.stmtList(t.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if t.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, t.Init)
+		}
+		if t.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, t.Tag)
+		}
+		b.switchClauses(label, t.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if t.Init != nil {
+			b.cur.Nodes = append(b.cur.Nodes, t.Init)
+		}
+		b.switchClauses(label, t.Body.List, t.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		// The SelectStmt node itself is visible in the head block (the
+		// selectnondet analyzer anchors on it).
+		head.Nodes = append(head.Nodes, t)
+		join := b.newBlock()
+		b.breaks = append(b.breaks, cfgTarget{label: label, block: join})
+		for _, cc := range t.Body.List {
+			clause := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			if clause.Comm != nil {
+				b.cur.Nodes = append(b.cur.Nodes, clause.Comm)
+			}
+			b.stmtList(clause.Body)
+			b.edge(b.cur, join)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if len(t.Body.List) == 0 {
+			// Empty select blocks forever.
+			b.edge(head, b.cfg.Exit)
+		}
+		b.cur = join
+
+	case *ast.LabeledStmt:
+		// Register the label on a fresh block so gotos land correctly; let
+		// loop/switch statements consume it for labeled break/continue.
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[t.Label.Name] = target
+		b.patchGotos(t.Label.Name, target)
+		b.pendingLabel = t.Label.Name
+		b.stmt(t.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		switch t.Tok {
+		case token.BREAK:
+			if tgt := b.findTarget(b.breaks, t.Label); tgt != nil {
+				b.edge(b.cur, tgt)
+			} else {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.startBlock()
+		case token.CONTINUE:
+			if tgt := b.findTarget(b.continues, t.Label); tgt != nil {
+				b.edge(b.cur, tgt)
+			} else {
+				b.edge(b.cur, b.cfg.Exit)
+			}
+			b.startBlock()
+		case token.GOTO:
+			name := t.Label.Name
+			if tgt, ok := b.labels[name]; ok {
+				b.edge(b.cur, tgt)
+			} else {
+				b.pendingGotos[name] = append(b.pendingGotos[name], b.cur)
+			}
+			b.startBlock()
+		case token.FALLTHROUGH:
+			// Handled structurally by switchClauses; nothing to do here.
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, t)
+		b.edge(b.cur, b.cfg.Exit)
+		b.startBlock()
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, t)
+		if call, ok := t.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+				b.edge(b.cur, b.cfg.Exit)
+				b.startBlock()
+			}
+		}
+
+	default:
+		// Simple statement (assign, send, incdec, defer, go, decl, empty).
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchClauses builds the shared shape of switch and type switch. assign is
+// the type switch's `x := y.(type)` statement, replicated into each clause
+// block (that is where the per-clause binding is live).
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, assign ast.Stmt) {
+	head := b.cur
+	join := b.newBlock()
+	if label != "" {
+		b.labels[label] = head
+		b.patchGotos(label, head)
+	}
+	b.breaks = append(b.breaks, cfgTarget{label: label, block: join})
+	// Build clause bodies first so fallthrough can edge into the next body.
+	bodies := make([]*CFGBlock, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		clause := cs.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		if assign != nil {
+			b.cur.Nodes = append(b.cur.Nodes, assign)
+		}
+		for _, e := range clause.List {
+			b.cur.Nodes = append(b.cur.Nodes, &ast.ExprStmt{X: e})
+		}
+		fallsThrough := false
+		for j, st := range clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && j == len(clause.Body)-1 {
+				fallsThrough = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1])
+		} else {
+			b.edge(b.cur, join)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join) // no case matched
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}
+
+// cond builds the condition subgraph deciding between blocks t and f,
+// desugaring short-circuit operators so each operand evaluates in its own
+// block (facts can then differ between the paths that did and did not
+// evaluate the right operand).
+func (b *cfgBuilder) cond(e ast.Expr, t, f *CFGBlock) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(x.X, t, f)
+		return
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.cond(x.X, mid, f)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.cond(x.X, t, mid)
+			b.cur = mid
+			b.cond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.cond(x.X, f, t)
+			return
+		}
+	}
+	b.cur.Nodes = append(b.cur.Nodes, e)
+	b.cur.Cond = e
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *CFGBlock) {
+	b.breaks = append(b.breaks, cfgTarget{label: label, block: brk})
+	b.continues = append(b.continues, cfgTarget{label: label, block: cont})
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+// findTarget resolves a break/continue target: the innermost unlabeled one,
+// or the matching labeled one.
+func (b *cfgBuilder) findTarget(stack []cfgTarget, label *ast.Ident) *CFGBlock {
+	if label == nil {
+		if len(stack) == 0 {
+			return nil
+		}
+		return stack[len(stack)-1].block
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) patchGotos(name string, target *CFGBlock) {
+	for _, src := range b.pendingGotos[name] {
+		b.edge(src, target)
+	}
+	delete(b.pendingGotos, name)
+}

@@ -1,0 +1,130 @@
+package analysis
+
+// Generic forward dataflow over the CFG of one function. Facts are abstract:
+// the client supplies join, transfer and equality, and the solver iterates a
+// worklist in reverse post-order until fixpoint. Both may-analyses (join =
+// union) and must-analyses (join = intersection) fit; the determinism
+// analyzers use may-taint for maps and a phase-set must/may hybrid for the
+// partitioned typestate.
+
+// FlowProblem describes one forward dataflow analysis.
+//
+// In(entry) = Boundary; In(b) = Join over Out(pred) for reachable preds;
+// Out(b) = Transfer(b, In(b)). Transfer must not mutate its input fact —
+// return a fresh (or shared immutable) value.
+type FlowProblem[F any] struct {
+	// Boundary is the fact at function entry.
+	Boundary F
+	// Init is the initial (optimistic) fact for all other blocks, typically
+	// "top": the identity of Join.
+	Init F
+	// Join merges the facts of two predecessors.
+	Join func(a, b F) F
+	// Transfer computes the out-fact of a block from its in-fact.
+	Transfer func(b *CFGBlock, in F) F
+	// Equal reports whether two facts are equal (fixpoint detection).
+	Equal func(a, b F) bool
+}
+
+// FlowResult holds the per-block fixpoint facts, indexed by CFGBlock.Index.
+type FlowResult[F any] struct {
+	In  []F
+	Out []F
+}
+
+// Solve runs the worklist algorithm to fixpoint and returns the per-block
+// in/out facts. Unreachable blocks keep Init facts.
+func Solve[F any](c *CFG, p FlowProblem[F]) FlowResult[F] {
+	n := len(c.Blocks)
+	res := FlowResult[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = p.Init
+		res.Out[i] = p.Init
+	}
+	order := reversePostOrder(c)
+	pos := make([]int, n) // block index -> position in order, for stable worklist
+	for i, b := range order {
+		pos[b.Index] = i
+	}
+
+	res.In[c.Entry.Index] = p.Boundary
+	res.Out[c.Entry.Index] = p.Transfer(c.Entry, p.Boundary)
+
+	inWork := make([]bool, n)
+	work := make([]*CFGBlock, 0, n)
+	for _, b := range order {
+		if b == c.Entry {
+			continue
+		}
+		work = append(work, b)
+		inWork[b.Index] = true
+	}
+
+	for len(work) > 0 {
+		// Pop the block earliest in RPO: converges in few passes for
+		// reducible graphs and keeps iteration order deterministic.
+		best := 0
+		for i := 1; i < len(work); i++ {
+			if pos[work[i].Index] < pos[work[best].Index] {
+				best = i
+			}
+		}
+		b := work[best]
+		work[best] = work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.Index] = false
+
+		in := p.Init
+		first := true
+		for _, pred := range b.Preds {
+			if !pred.reachable {
+				continue
+			}
+			if first {
+				in = res.Out[pred.Index]
+				first = false
+			} else {
+				in = p.Join(in, res.Out[pred.Index])
+			}
+		}
+		if first && b != c.Entry {
+			// No reachable predecessors (e.g. orphan label): keep Init.
+			continue
+		}
+		out := p.Transfer(b, in)
+		res.In[b.Index] = in
+		if p.Equal(out, res.Out[b.Index]) {
+			continue
+		}
+		res.Out[b.Index] = out
+		for _, s := range b.Succs {
+			if s != c.Entry && s.reachable && !inWork[s.Index] {
+				work = append(work, s)
+				inWork[s.Index] = true
+			}
+		}
+	}
+	return res
+}
+
+// reversePostOrder returns the reachable blocks in reverse post-order of a
+// DFS from the entry (a topological order ignoring back edges).
+func reversePostOrder(c *CFG) []*CFGBlock {
+	seen := make([]bool, len(c.Blocks))
+	post := make([]*CFGBlock, 0, len(c.Blocks))
+	var dfs func(b *CFGBlock)
+	dfs = func(b *CFGBlock) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

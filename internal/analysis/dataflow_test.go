@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The dataflow tests run a tiny gen/kill set analysis driven by marker
+// calls: gen("x") adds x to the fact set, kill("x") removes it, and the
+// tests probe the fact holding at probe("name") sites. Facts are
+// canonicalized sorted comma-joined strings so Equal is string equality.
+
+type strset map[string]bool
+
+func (s strset) clone() strset {
+	c := make(strset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s strset) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func setEq(a, b strset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func setUnion(a, b strset) strset {
+	u := a.clone()
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func setIntersect(a, b strset) strset {
+	u := strset{}
+	for k := range a {
+		if b[k] {
+			u[k] = true
+		}
+	}
+	return u
+}
+
+// solveGenKill runs the analysis; join selects may (union) vs must
+// (intersection). It returns the facts at each probe("name") site.
+func solveGenKill(t *testing.T, body string, must bool) map[string]string {
+	t.Helper()
+	src := `
+	probe("entry")
+` + body
+	c := parseCFG(t, strings.ReplaceAll(src, "probe(", "mark(")+"\n\t_ = 0")
+	join := setUnion
+	init := strset{}
+	if must {
+		join = setIntersect
+		// Top for intersection is "everything": approximated by the universe
+		// of all gen'd names (collected below).
+		universe := strset{}
+		for _, b := range c.Blocks {
+			for _, n := range b.Nodes {
+				if s, ok := markerCall(n, "gen"); ok {
+					universe[s] = true
+				}
+			}
+		}
+		init = universe
+	}
+	transfer := func(b *CFGBlock, in strset) strset {
+		out := in
+		copied := false
+		for _, n := range b.Nodes {
+			if s, ok := markerCall(n, "gen"); ok {
+				if !copied {
+					out = out.clone()
+					copied = true
+				}
+				out[s] = true
+			} else if s, ok := markerCall(n, "kill"); ok {
+				if !copied {
+					out = out.clone()
+					copied = true
+				}
+				delete(out, s)
+			}
+		}
+		return out
+	}
+	res := Solve(c, FlowProblem[strset]{
+		Boundary: strset{},
+		Init:     init,
+		Join:     join,
+		Transfer: transfer,
+		Equal:    setEq,
+	})
+	// Read facts at each probe site: in-fact of the block, advanced past
+	// earlier gen/kill nodes in the same block.
+	probes := map[string]string{}
+	for _, b := range c.Blocks {
+		if !c.Reachable(b) {
+			continue
+		}
+		cur := res.In[b.Index]
+		for _, n := range b.Nodes {
+			if s, ok := markerCall(n, "mark"); ok {
+				probes[s] = cur.String()
+				continue
+			}
+			if s, ok := markerCall(n, "gen"); ok {
+				cur = cur.clone()
+				cur[s] = true
+			} else if s, ok := markerCall(n, "kill"); ok {
+				cur = cur.clone()
+				delete(cur, s)
+			}
+		}
+	}
+	return probes
+}
+
+func wantProbes(t *testing.T, got map[string]string, want map[string]string) {
+	t.Helper()
+	for name, facts := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("probe %q not recorded", name)
+			continue
+		}
+		if g != facts {
+			t.Errorf("probe %q = %q, want %q", name, g, facts)
+		}
+	}
+}
+
+func TestSolveStraightLine(t *testing.T) {
+	got := solveGenKill(t, `
+	gen("a")
+	probe("p1")
+	gen("b")
+	kill("a")
+	probe("p2")`, false)
+	wantProbes(t, got, map[string]string{
+		"entry": "",
+		"p1":    "a",
+		"p2":    "b",
+	})
+}
+
+func TestSolveBranchMayVsMust(t *testing.T) {
+	body := `
+	if cond("c") {
+		gen("x")
+	} else {
+		gen("y")
+	}
+	probe("join")`
+	may := solveGenKill(t, body, false)
+	wantProbes(t, may, map[string]string{"join": "x,y"})
+	must := solveGenKill(t, body, true)
+	wantProbes(t, must, map[string]string{"join": ""})
+}
+
+func TestSolveBranchMustBothPaths(t *testing.T) {
+	got := solveGenKill(t, `
+	if cond("c") {
+		gen("x")
+		gen("only_then")
+	} else {
+		gen("x")
+	}
+	probe("join")`, true)
+	// x is generated on both paths → must-hold at the join; only_then is not.
+	wantProbes(t, got, map[string]string{"join": "x"})
+}
+
+func TestSolveLoopFixpoint(t *testing.T) {
+	got := solveGenKill(t, `
+	probe("pre")
+	for cond("head") {
+		probe("top")
+		gen("inloop")
+		probe("bot")
+	}
+	probe("post")`, false)
+	// The back edge carries inloop to the loop head, so the second iteration
+	// (and the post block) may see it; the first probe cannot.
+	wantProbes(t, got, map[string]string{
+		"pre":  "",
+		"top":  "inloop", // join of entry (∅) and back edge ({inloop}) = may
+		"bot":  "inloop",
+		"post": "inloop",
+	})
+}
+
+func TestSolveKillOnOnePath(t *testing.T) {
+	body := `
+	gen("t")
+	if cond("c") {
+		kill("t")
+	}
+	probe("join")`
+	// May: t survives the no-kill path.
+	may := solveGenKill(t, body, false)
+	wantProbes(t, may, map[string]string{"join": "t"})
+	// Must: killed on one path → not guaranteed.
+	must := solveGenKill(t, body, true)
+	wantProbes(t, must, map[string]string{"join": ""})
+}
+
+func TestSolveNestedBranchPaths(t *testing.T) {
+	// A fact generated on one outer branch must be visible throughout that
+	// branch's sub-paths and at the join, but never on the sibling branch.
+	got2 := solveGenKill(t, `
+	if cond("a") {
+		gen("x")
+		if cond("b") {
+			probe("then")
+		} else {
+			probe("elseInner")
+		}
+	} else {
+		probe("else")
+	}
+	probe("join")`, false)
+	wantProbes(t, got2, map[string]string{
+		"then":      "x",
+		"elseInner": "x",
+		"else":      "",
+		"join":      "x",
+	})
+}
+
+func TestSolveLabeledBreakFacts(t *testing.T) {
+	got := solveGenKill(t, `
+outer:
+	for cond("o") {
+		for cond("i") {
+			if cond("b") {
+				gen("via_break")
+				break outer
+			}
+		}
+		kill("via_break")
+	}
+	probe("post")`, false)
+	// via_break escapes through the labeled break without hitting the kill.
+	wantProbes(t, got, map[string]string{"post": "via_break"})
+}
+
+func TestSolveUnreachableKeepsInit(t *testing.T) {
+	got := solveGenKill(t, `
+	gen("live")
+	probe("before")
+	return
+	probe("dead")`, false)
+	wantProbes(t, got, map[string]string{"before": "live"})
+	if _, ok := got["dead"]; ok {
+		t.Error("probe in unreachable code was recorded")
+	}
+}

@@ -17,10 +17,12 @@ import (
 // `_ = f()` — the explicit blank assignment is the suppression.
 var ErrcheckAnalyzer = &Analyzer{
 	Name:      "errcheck-lite",
-	Doc:       "flag ignored error returns in internal/ and cmd/ non-test code",
+	Doc:       "flag ignored error returns in internal/, cmd/ and examples/ non-test code",
 	SkipTests: true,
 	Match: func(pkgPath string) bool {
-		return strings.Contains(pkgPath, "/internal/") || strings.Contains(pkgPath, "/cmd/")
+		return strings.Contains(pkgPath, "/internal/") ||
+			strings.Contains(pkgPath, "/cmd/") ||
+			strings.Contains(pkgPath, "/examples/")
 	},
 	Run: runErrcheck,
 }

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatorder flags floating-point accumulation whose operand order depends
+// on map iteration. FP addition is not associative: summing the same
+// multiset of float64s in two different orders can round differently, so a
+// map-ordered reduction feeding a metric, a golden-gate value, or a virtual
+// timestamp drifts between runs even though every individual contribution is
+// identical. The analyzer rides the same may-taint dataflow as maporder: an
+// accumulation `acc op= e` (or `acc = acc op e`) with float-typed acc fires
+// when e — or an index used to select e — carries map-order taint on some
+// path. Sorting the key slice first kills the taint and the finding.
+var FloatOrderAnalyzer = &Analyzer{
+	Name:      "floatorder",
+	Doc:       "forbid floating-point accumulation in map-iteration order (non-associative rounding drift)",
+	SkipTests: true,
+	Run:       runFloatOrder,
+}
+
+var floatAccumOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+func runFloatOrder(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	for _, node := range prog.Nodes {
+		if node.Pkg != pass.Pkg || node.Body() == nil {
+			continue
+		}
+		st := newOrdState(prog, node)
+		cfg, res := st.solveOrderTaint()
+		for _, blk := range cfg.Blocks {
+			if !cfg.Reachable(blk) {
+				continue
+			}
+			cur := res.In[blk.Index]
+			for _, n := range blk.Nodes {
+				st.checkFloatAccum(pass, n, cur)
+				cur = st.step(n, cur)
+			}
+		}
+	}
+}
+
+// checkFloatAccum reports float accumulations with order-tainted operands.
+func (st *ordState) checkFloatAccum(pass *Pass, n ast.Node, f ordFact) {
+	if len(f) == 0 {
+		return
+	}
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	accum := false
+	var operand ast.Expr
+	switch {
+	case floatAccumOps[as.Tok]:
+		accum, operand = true, rhs
+	case as.Tok == token.ASSIGN:
+		// acc = acc + e / acc = e + acc (and -, *, /).
+		if bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr); ok && isAccumBinOp(bin.Op) {
+			lroot := rootIdent(lhs)
+			if lroot != "" {
+				if rootIdent(bin.X) == lroot {
+					accum, operand = true, bin.Y
+				} else if rootIdent(bin.Y) == lroot && (bin.Op == token.ADD || bin.Op == token.MUL) {
+					accum, operand = true, bin.X
+				}
+			}
+		}
+	}
+	if !accum || !st.isFloatExpr(lhs) {
+		return
+	}
+	origin, tainted := st.taintOf(operand, f)
+	if !tainted {
+		return
+	}
+	pos := st.node.Pkg.Fset.Position(origin.pos)
+	pass.Reportf(as.Pos(),
+		"floating-point accumulation into %s in map-iteration order (operand derives from range over %s at line %d): FP rounding is order-dependent; iterate sorted keys",
+		exprText(lhs), origin.expr, pos.Line)
+}
+
+func isAccumBinOp(op token.Token) bool {
+	return op == token.ADD || op == token.SUB || op == token.MUL || op == token.QUO
+}
+
+// isFloatExpr reports whether e is float32/float64-typed (type-informed;
+// untyped fixtures fall back to false — floatorder requires type info).
+func (st *ordState) isFloatExpr(e ast.Expr) bool {
+	if st.info == nil {
+		return false
+	}
+	tv, ok := st.info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

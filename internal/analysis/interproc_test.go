@@ -325,6 +325,119 @@ func good(p *sim.Proc, rk *mpi.Rank, buf []float64) {
 `}},
 			},
 		},
+		{
+			// Path-sensitive: Pready fires inside a branch before any Start
+			// exists on ANY path. The straight-line v2 walk dropped tracking at
+			// the `if`; the CFG typestate reports it with the branch path.
+			// partitionedorder rescans the nested block with fresh state, so
+			// this finding is exclusively partitionedflow's.
+			name:     "partitionedflow_branch_pready_before_start_bad",
+			analyzer: "partitionedflow",
+			pkgs: []pkgSrc{
+				{path: "mpipart/examples/fixture", files: map[string]string{"pf_branch_fixture.go": `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func bad(p *sim.Proc, rk *mpi.Rank, buf []float64, eager bool) {
+	sreq := core.PsendInit(p, rk, 1, 7, buf, 4)
+	if eager {
+		sreq.Pready(p, 0)
+	}
+	sreq.Start(p)
+	sreq.Pready(p, 1)
+	sreq.Wait(p)
+	sreq.Free()
+}
+`}},
+			},
+			want: []string{"Pready before Start on request sreq [path: branch at line 9 (true)]"},
+		},
+		{
+			// Must-violation across a join: both branches Free the request, so
+			// the state set at the final Start is uniformly freed and the
+			// use-after-free is certain on every path.
+			name:     "partitionedflow_free_on_both_branches_bad",
+			analyzer: "partitionedflow",
+			pkgs: []pkgSrc{
+				{path: "mpipart/examples/fixture", files: map[string]string{"pf_join_fixture.go": `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func bad(p *sim.Proc, rk *mpi.Rank, buf []float64, fast bool) {
+	sreq := core.PsendInit(p, rk, 1, 7, buf, 4)
+	sreq.Start(p)
+	sreq.Wait(p)
+	if fast {
+		sreq.Free()
+	} else {
+		sreq.Free()
+	}
+	sreq.Start(p)
+}
+`}},
+			},
+			want: []string{"Start on freed request sreq: use after Free [path: branch at line"},
+		},
+		{
+			// Correlated branches guarded by the same condition: Start and Wait
+			// each happen only when run is true. A path-insensitive union would
+			// flag the Wait (and the Free); must-violation semantics keep every
+			// consistent interpretation silent.
+			name:     "partitionedflow_correlated_branches_ok",
+			analyzer: "partitionedflow",
+			pkgs: []pkgSrc{
+				{path: "mpipart/examples/fixture", files: map[string]string{"pf_corr_fixture.go": `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func good(p *sim.Proc, rk *mpi.Rank, buf []float64, run bool) {
+	sreq := core.PsendInit(p, rk, 1, 7, buf, 4)
+	if run {
+		sreq.Start(p)
+	}
+	if run {
+		sreq.Wait(p)
+	}
+	sreq.Free()
+}
+`}},
+			},
+		},
+		{
+			// A well-formed multi-epoch loop: Start/Pready*/Wait per iteration,
+			// Free after. The back edge feeds the post-Wait state into the loop
+			// head; the fixpoint proves every epoch transition legal. Both the
+			// v2 walk and partitionedorder dropped tracking at the `for`.
+			name:     "partitionedflow_epoch_loop_ok",
+			analyzer: "partitionedflow",
+			pkgs: []pkgSrc{
+				{path: "mpipart/examples/fixture", files: map[string]string{"pf_loop_fixture.go": `package main
+import (
+	"mpipart/internal/core"
+	"mpipart/internal/mpi"
+	"mpipart/internal/sim"
+)
+func good(p *sim.Proc, rk *mpi.Rank, buf []float64) {
+	sreq := core.PsendInit(p, rk, 1, 7, buf, 4)
+	for i := 0; i < 3; i++ {
+		sreq.Start(p)
+		sreq.Pready(p, 0)
+		sreq.Pready(p, 1)
+		sreq.Pready(p, 2)
+		sreq.Pready(p, 3)
+		sreq.Wait(p)
+	}
+	sreq.Free()
+}
+`}},
+			},
+		},
 	}
 
 	for _, fx := range fixtures {

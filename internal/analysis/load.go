@@ -156,8 +156,16 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 		dirs[dir] = true
 	}
-	var pkgs []*Package
+	// Load in sorted directory order: loadDir reads the filesystem and
+	// reports errors, so the first-error identity (and any I/O ordering)
+	// must not depend on map iteration.
+	dirList := make([]string, 0, len(dirs))
 	for dir := range dirs {
+		dirList = append(dirList, dir)
+	}
+	sort.Strings(dirList)
+	var pkgs []*Package
+	for _, dir := range dirList {
 		pkg, err := l.loadDir(dir)
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -27,6 +28,17 @@ import (
 // stores, returns) degrades to an opaque summary, and the caller stops
 // tracking at the call — recall traded for zero false positives, the same
 // bargain partitionedorder strikes.
+//
+// The caller side is a path-sensitive typestate automaton solved over the
+// per-function CFG: each tracked request carries the SET of protocol states
+// (init -> started -> pready -> arrived) it can be in, joined as a union
+// across branches. A violation is reported only when the operation is illegal
+// in EVERY possible state — must-violation semantics, so correlated branches
+// (`if x { r.Start(p) } ... if x { r.Wait(p) }`) stay silent — and the
+// diagnostic carries the branch path from the initialization to the
+// violation. Findings that partitionedorder already reports on the same
+// straight line are suppressed (computed by replaying its exact walk), so
+// the two analyzers partition the diagnostic space instead of overlapping.
 var PartitionedFlowAnalyzer = &Analyzer{
 	Name:      "partitionedflow",
 	Doc:       "partitioned-API state-machine misuse split across function boundaries (helper-issued Pready before Start, ...)",
@@ -384,18 +396,165 @@ func (prog *Program) summarizeReturn(node *FuncNode, body *ast.BlockStmt, s *par
 	}
 }
 
-// ---- the analyzer: caller-side interprocedural state machine ----
+// ---- the analyzer: caller-side path-sensitive typestate dataflow ----
 
-// flowReq is the tracked state of one request variable in the caller walk.
-type flowReq struct {
+// pflowState is one possible protocol state of a tracked request variable
+// along some set of CFG paths.
+type pflowState struct {
 	dir     string
-	nparts  int
+	nparts  int // -1 when unknown
 	started bool
 	freed   bool
-	readied map[int]bool
+	// readied is the bitmask of literal partitions (< 64) marked ready in
+	// the current epoch; larger literals simply forgo duplicate detection.
+	readied uint64
 	// interproc marks state that involved at least one cross-function step
-	// (init via helper); only such findings are reported here.
+	// (helper-returned init, helper-spliced op).
 	interproc bool
+	// initBlock/initPos anchor where tracking began, for branch-path
+	// rendering in diagnostics.
+	initBlock int
+	initPos   token.Pos
+}
+
+// pflowMaxStates bounds the state set per variable; a variable whose set
+// outgrows it (pathological branching) is dropped rather than approximated.
+const pflowMaxStates = 8
+
+// pflowFact maps request variable -> set of possible states. top is the
+// solver's optimistic identity ("no path information yet"); it only exists
+// transiently during iteration.
+type pflowFact struct {
+	top  bool
+	vars map[string][]pflowState
+}
+
+func (f pflowFact) clone() pflowFact {
+	if f.top {
+		return f
+	}
+	out := pflowFact{vars: make(map[string][]pflowState, len(f.vars))}
+	for k, v := range f.vars {
+		out.vars[k] = v // state slices are never mutated in place
+	}
+	return out
+}
+
+// pflowCanon dedupes and canonically orders a state set; nil (drop the
+// variable) when the set exceeds pflowMaxStates. The input slice must be
+// freshly allocated by the caller.
+func pflowCanon(states []pflowState) []pflowState {
+	seen := make(map[pflowState]bool, len(states))
+	out := states[:0]
+	for _, st := range states {
+		if !seen[st] {
+			seen[st] = true
+			out = append(out, st)
+		}
+	}
+	if len(out) > pflowMaxStates {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.initPos != b.initPos {
+			return a.initPos < b.initPos
+		}
+		if a.initBlock != b.initBlock {
+			return a.initBlock < b.initBlock
+		}
+		if a.dir != b.dir {
+			return a.dir < b.dir
+		}
+		if a.nparts != b.nparts {
+			return a.nparts < b.nparts
+		}
+		if a.started != b.started {
+			return !a.started
+		}
+		if a.freed != b.freed {
+			return !a.freed
+		}
+		if a.readied != b.readied {
+			return a.readied < b.readied
+		}
+		return !a.interproc && b.interproc
+	})
+	return out
+}
+
+// pflowJoin unions the state sets of variables tracked on BOTH paths; a
+// variable untracked on either side stops being tracked (must-style key
+// intersection keeps the all-states invariant the reporting rests on).
+func pflowJoin(a, b pflowFact) pflowFact {
+	if a.top {
+		return b
+	}
+	if b.top {
+		return a
+	}
+	out := pflowFact{vars: map[string][]pflowState{}}
+	for name, as := range a.vars {
+		bs, ok := b.vars[name]
+		if !ok {
+			continue
+		}
+		merged := pflowCanon(append(append([]pflowState{}, as...), bs...))
+		if merged != nil {
+			out.vars[name] = merged
+		}
+	}
+	return out
+}
+
+func pflowEqual(a, b pflowFact) bool {
+	if a.top != b.top || len(a.vars) != len(b.vars) {
+		return false
+	}
+	for name, as := range a.vars {
+		bs, ok := b.vars[name]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pflowNames returns the tracked variable names in deterministic order.
+func pflowNames(f pflowFact) []string {
+	names := make([]string, 0, len(f.vars))
+	for n := range f.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// partLocalCovered replays partitionedorder's exact straight-line walk over
+// body and records the positions where it reports. The typestate engine
+// suppresses purely local findings at those positions: the two analyzers
+// partition the diagnostic space.
+func partLocalCovered(body *ast.BlockStmt) map[token.Pos]bool {
+	covered := map[token.Pos]bool{}
+	scanPartBlock(func(pos token.Pos, format string, args ...interface{}) {
+		covered[pos] = true
+	}, body, map[string]*partReq{})
+	return covered
+}
+
+// pflowCtx carries the per-function analysis state.
+type pflowCtx struct {
+	pass      *Pass
+	prog      *Program
+	node      *FuncNode
+	cfg       *CFG
+	covered   map[token.Pos]bool
+	reporting bool // false during Solve, true during the replay pass
 }
 
 func runPartitionedFlow(pass *Pass) {
@@ -410,155 +569,226 @@ func runPartitionedFlow(pass *Pass) {
 		if node.File != nil && node.File.Test {
 			continue
 		}
-		pass.flowScanBlock(node, node.Body(), map[string]*flowReq{})
-	}
-}
-
-// flowScanBlock mirrors partitionedorder's straight-line discipline: track
-// only what stays in straight lines, drop on compound statements, rescan
-// nested blocks fresh.
-func (pass *Pass) flowScanBlock(node *FuncNode, block *ast.BlockStmt, reqs map[string]*flowReq) {
-	prog := pass.Prog
-	for _, stmt := range block.List {
-		switch s := stmt.(type) {
-		case *ast.AssignStmt:
-			pass.flowTrackInit(node, s, reqs)
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				pass.flowStepCall(node, call, reqs)
+		cx := &pflowCtx{pass: pass, prog: prog, node: node}
+		cx.cfg = BuildCFG(node.Body())
+		cx.covered = partLocalCovered(node.Body())
+		res := Solve(cx.cfg, FlowProblem[pflowFact]{
+			Boundary: pflowFact{vars: map[string][]pflowState{}},
+			Init:     pflowFact{top: true},
+			Join:     pflowJoin,
+			Transfer: cx.transfer,
+			Equal:    pflowEqual,
+		})
+		// Replay each reachable block once on its fixpoint in-fact with
+		// reporting enabled.
+		cx.reporting = true
+		for _, blk := range cx.cfg.Blocks {
+			if cx.cfg.Reachable(blk) && !res.In[blk.Index].top {
+				cx.transfer(blk, res.In[blk.Index])
 			}
-		case *ast.DeferStmt:
-			if id := recvIdent(s.Call); id != nil {
-				delete(reqs, id.Name)
-			} else {
-				for name := range reqs {
-					if usesIdent(s.Call, name) {
-						delete(reqs, name)
-					}
-				}
-			}
-		case *ast.ReturnStmt:
-			return
-		default:
-			for name := range reqs {
-				if usesIdent(stmt, name) {
-					delete(reqs, name)
-				}
-			}
-			ast.Inspect(stmt, func(m ast.Node) bool {
-				if _, ok := m.(*ast.FuncLit); ok {
-					return false // literals are their own nodes
-				}
-				if b, ok := m.(*ast.BlockStmt); ok {
-					pass.flowScanBlock(node, b, map[string]*flowReq{})
-					return false
-				}
-				return true
-			})
 		}
 	}
-	_ = prog
 }
 
-// flowTrackInit starts tracking direct inits (interproc=false) and
-// helper-returned inits (interproc=true, with the helper's pre-applied ops).
-func (pass *Pass) flowTrackInit(node *FuncNode, s *ast.AssignStmt, reqs map[string]*flowReq) {
+func (cx *pflowCtx) transfer(blk *CFGBlock, in pflowFact) pflowFact {
+	if in.top {
+		return in
+	}
+	f := in.clone()
+	for _, n := range blk.Nodes {
+		f = cx.step(blk, n, f)
+	}
+	return f
+}
+
+// step interprets one CFG node. Statements that use a tracked request in any
+// way the automaton does not model drop the variable (zero false positives
+// over recall, as everywhere in this engine).
+func (cx *pflowCtx) step(blk *CFGBlock, n ast.Node, f pflowFact) pflowFact {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		cx.stepAssign(blk, s, f)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			cx.stepCall(blk, call, f)
+		} else {
+			cx.dropUses(s, f)
+		}
+	case *ast.DeferStmt:
+		// defer x.Free()/x.Wait(p) is well-formed cleanup at exit: stop
+		// tracking the variable (mirrors partitionedorder).
+		if id := recvIdent(s.Call); id != nil {
+			delete(f.vars, id.Name)
+		} else {
+			cx.dropUses(s, f)
+		}
+	case *ast.RangeStmt:
+		// Only the range header lives in this block (the body has its own
+		// blocks): drop on use in the ranged expression or on rebinding of a
+		// tracked name as the loop variable.
+		for _, name := range pflowNames(f) {
+			if usesIdent(s.X, name) || pflowBinds(s.Key, name) || pflowBinds(s.Value, name) {
+				delete(f.vars, name)
+			}
+		}
+	default:
+		// Conditions (bare exprs), select, return, send, incdec, decl, go:
+		// any mention of a tracked request escapes the automaton.
+		cx.dropUses(n, f)
+	}
+	return f
+}
+
+func pflowBinds(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func (cx *pflowCtx) dropUses(n ast.Node, f pflowFact) {
+	for _, name := range pflowNames(f) {
+		if usesIdent(n, name) {
+			delete(f.vars, name)
+		}
+	}
+}
+
+// stepAssign starts tracking direct inits and helper-returned inits, and
+// drops anything rebound or escaping through the assignment.
+func (cx *pflowCtx) stepAssign(blk *CFGBlock, s *ast.AssignStmt, f pflowFact) {
 	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
-		for name := range reqs {
-			if usesIdent(s, name) {
-				delete(reqs, name)
-			}
-		}
+		cx.dropUses(s, f)
 		return
 	}
 	lhs, ok := s.Lhs[0].(*ast.Ident)
-	if !ok || lhs.Name == "_" {
+	if !ok {
+		cx.dropUses(s, f)
 		return
 	}
 	call, ok := s.Rhs[0].(*ast.CallExpr)
 	if !ok {
-		delete(reqs, lhs.Name)
+		cx.dropUses(s.Rhs[0], f)
+		delete(f.vars, lhs.Name)
 		return
 	}
 	name := calleeName(call)
-	if dir, isInit := partInitCalls[name]; isInit {
-		r := &flowReq{dir: dir, nparts: -1, readied: map[int]bool{}}
+	if dir, isInit := partInitCalls[name]; isInit && lhs.Name != "_" {
+		cx.dropUses(call, f) // a tracked request in the init args escapes
+		st := pflowState{dir: dir, nparts: -1, initBlock: blk.Index, initPos: call.Pos()}
 		if !strings.HasSuffix(name, "Parts") && len(call.Args) == 6 {
 			if n, ok := intLit(call.Args[5]); ok {
-				r.nparts = n
+				st.nparts = n
 			}
 		}
-		reqs[lhs.Name] = r
+		f.vars[lhs.Name] = []pflowState{st}
 		return
 	}
-	// Helper-returned request.
-	if site := pass.Prog.siteOf(node, call); site != nil && len(site.Callees) == 1 {
-		cs := pass.Prog.partSumm[site.Callees[0].index]
-		if cs != nil && cs.retDir != "" {
-			r := &flowReq{dir: cs.retDir, nparts: -1, readied: map[int]bool{}, interproc: true}
-			reqs[lhs.Name] = r
+	// Helper-returned request: tracking starts at the call with the helper's
+	// pre-applied ops.
+	if site := cx.prog.siteOf(cx.node, call); site != nil && len(site.Callees) == 1 && len(site.External) == 0 {
+		cs := cx.prog.partSumm[site.Callees[0].index]
+		if cs != nil && cs.retDir != "" && lhs.Name != "_" {
+			cx.dropUses(s, f)
+			st := pflowState{dir: cs.retDir, nparts: -1, interproc: true, initBlock: blk.Index, initPos: call.Pos()}
+			states := []pflowState{st}
 			for _, op := range cs.retOps {
-				pass.flowApplyOp(lhs.Name, r, op, site.Callees[0], call.Pos())
+				states = cx.applyOp(blk, lhs.Name, states, op, site.Callees[0], call.Pos())
+				if states == nil {
+					break
+				}
+			}
+			if states != nil {
+				f.vars[lhs.Name] = states
 			}
 			return
 		}
 	}
-	delete(reqs, lhs.Name)
+	cx.dropUses(s, f)
 }
 
-// flowStepCall advances tracked state for a statement-level call: direct
-// request methods keep the machine in sync silently (partitionedorder owns
-// those diagnostics); helper calls splice the callee's summarized ops and
-// report violations with the call chain.
-func (pass *Pass) flowStepCall(node *FuncNode, call *ast.CallExpr, reqs map[string]*flowReq) {
-	prog := pass.Prog
+// stepCall advances tracked state for a statement-level call: direct request
+// methods step the automaton; helper calls splice the callee's summarized
+// ops; anything else using a tracked request drops it.
+func (cx *pflowCtx) stepCall(blk *CFGBlock, call *ast.CallExpr, f pflowFact) {
 	// Direct method on a tracked request.
 	if id := recvIdent(call); id != nil {
-		if r, ok := reqs[id.Name]; ok {
+		if states, ok := f.vars[id.Name]; ok {
 			method := calleeName(call)
 			if partStateOps[method] {
 				op := partOp{method: method, part: partLiteralArg(method, call), pos: call.Pos()}
-				pass.flowApplyOp(id.Name, r, op, nil, call.Pos())
+				states = cx.applyOp(blk, id.Name, states, op, nil, call.Pos())
+				if states == nil {
+					delete(f.vars, id.Name)
+				} else {
+					f.vars[id.Name] = states
+				}
+			} else {
+				// Unknown method (NParts, Pending, ...): harmless unless the
+				// request recurs in its own arguments.
+				for _, arg := range call.Args {
+					if usesIdent(arg, id.Name) {
+						delete(f.vars, id.Name)
+						break
+					}
+				}
+			}
+			// Other tracked requests appearing in the arguments escape.
+			for _, name := range pflowNames(f) {
+				if name == id.Name {
+					continue
+				}
+				for _, arg := range call.Args {
+					if usesIdent(arg, name) {
+						delete(f.vars, name)
+						break
+					}
+				}
 			}
 			return
 		}
 	}
-	// Helper call taking a tracked request.
-	for name, r := range reqs {
+	// Helper call taking tracked requests as plain arguments.
+	for _, name := range pflowNames(f) {
+		states, ok := f.vars[name]
+		if !ok {
+			continue
+		}
 		argIdx := -1
 		involved := false
 		for i, arg := range call.Args {
 			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok && aid.Name == name {
 				if argIdx >= 0 {
-					involved = true // passed twice
+					involved = true // passed twice: too clever to track
 					break
 				}
 				argIdx = i
 			} else if usesIdent(arg, name) {
-				involved = true
+				involved = true // nested use (field, closure capture, ...)
 				break
 			}
 		}
 		if involved {
-			delete(reqs, name)
+			delete(f.vars, name)
 			continue
 		}
 		if argIdx < 0 {
+			if usesIdent(call.Fun, name) {
+				delete(f.vars, name)
+			}
 			continue
 		}
-		site := prog.siteOf(node, call)
+		site := cx.prog.siteOf(cx.node, call)
 		if site == nil || len(site.Callees) != 1 || len(site.External) > 0 {
-			delete(reqs, name)
+			delete(f.vars, name)
 			continue
 		}
 		callee := site.Callees[0]
-		cs := prog.partSumm[callee.index]
+		cs := cx.prog.partSumm[callee.index]
 		var psum *partParamSummary
 		if cs != nil {
 			psum = cs.params[argIdx]
 		}
 		if psum == nil || psum.opaque {
-			delete(reqs, name)
+			delete(f.vars, name)
 			continue
 		}
 		for _, op := range psum.ops {
@@ -566,79 +796,221 @@ func (pass *Pass) flowStepCall(node *FuncNode, call *ast.CallExpr, reqs map[stri
 			if spliced.via == nil {
 				spliced.via = callee
 			}
-			pass.flowApplyOp(name, r, spliced, callee, call.Pos())
+			states = cx.applyOp(blk, name, states, spliced, callee, call.Pos())
+			if states == nil {
+				break
+			}
+		}
+		if states == nil {
+			delete(f.vars, name)
+		} else {
+			f.vars[name] = states
 		}
 	}
 }
 
-// flowApplyOp advances the state machine by one op and reports
-// interprocedural violations. via is the helper the op arrived through (nil
-// for a direct caller-side op); reportPos anchors the diagnostic at the
-// caller's call site.
-func (pass *Pass) flowApplyOp(name string, r *flowReq, op partOp, via *FuncNode, reportPos token.Pos) {
-	interproc := via != nil || r.interproc
-	report := func(format string, args ...interface{}) {
-		if !interproc {
-			return // partitionedorder owns purely local findings
-		}
-		msg := fmt.Sprintf(format, args...)
-		var chain []ChainStep
-		if via != nil {
-			chain = pass.opChain(via, op)
-		}
-		pass.ReportfChain(reportPos, chain, "%s", msg)
+// pflowCheck is one violation predicate of an operation: fires must hold in
+// EVERY possible state for msg to be reported.
+type pflowCheck struct {
+	fires func(pflowState) bool
+	msg   string
+}
+
+// pflowChecks enumerates the violation checks of op. rep is a representative
+// state used only to render state-dependent message parts (nparts).
+func pflowChecks(op partOp, name, viaDesc string, rep pflowState) []pflowCheck {
+	live := func(pred func(pflowState) bool) func(pflowState) bool {
+		return func(st pflowState) bool { return !st.freed && pred(st) }
 	}
-	viaDesc := ""
-	if op.via != nil {
-		viaDesc = fmt.Sprintf(" (issued inside %s)", op.via.ShortName())
-	}
-	if r.freed {
-		report("%s on freed request %s%s: use after Free", op.method, name, viaDesc)
-		return
-	}
+	checks := []pflowCheck{{
+		fires: func(st pflowState) bool { return st.freed },
+		msg:   fmt.Sprintf("%s on freed request %s%s: use after Free", op.method, name, viaDesc),
+	}}
 	switch op.method {
 	case "Start":
-		if r.started {
-			report("Start on already-started request %s%s: missing Wait between epochs", name, viaDesc)
-		}
-		r.started = true
-		r.readied = map[int]bool{}
+		checks = append(checks, pflowCheck{
+			fires: live(func(st pflowState) bool { return st.started }),
+			msg:   fmt.Sprintf("Start on already-started request %s%s: missing Wait between epochs", name, viaDesc),
+		})
 	case "PbufPrepare":
-		if !r.started {
-			report("PbufPrepare before Start on request %s%s", name, viaDesc)
-		}
+		checks = append(checks, pflowCheck{
+			fires: live(func(st pflowState) bool { return !st.started }),
+			msg:   fmt.Sprintf("PbufPrepare before Start on request %s%s", name, viaDesc),
+		})
 	case "Pready":
-		if !r.started {
-			report("Pready before Start on request %s%s", name, viaDesc)
-		}
+		checks = append(checks, pflowCheck{
+			fires: live(func(st pflowState) bool { return !st.started }),
+			msg:   fmt.Sprintf("Pready before Start on request %s%s", name, viaDesc),
+		})
 		if op.part >= 0 {
-			if r.nparts >= 0 && op.part >= r.nparts {
-				report("Pready partition %d out of range [0,%d) on request %s%s", op.part, r.nparts, name, viaDesc)
-			} else if r.readied[op.part] {
-				report("duplicate Pready of partition %d on request %s%s in the same epoch", op.part, name, viaDesc)
-			}
-			r.readied[op.part] = true
+			checks = append(checks,
+				pflowCheck{
+					fires: live(func(st pflowState) bool { return st.nparts >= 0 && op.part >= st.nparts }),
+					msg:   fmt.Sprintf("Pready partition %d out of range [0,%d) on request %s%s", op.part, rep.nparts, name, viaDesc),
+				},
+				pflowCheck{
+					fires: live(func(st pflowState) bool {
+						inRange := !(st.nparts >= 0 && op.part >= st.nparts)
+						return inRange && op.part < 64 && st.readied&(1<<uint(op.part)) != 0
+					}),
+					msg: fmt.Sprintf("duplicate Pready of partition %d on request %s%s in the same epoch", op.part, name, viaDesc),
+				})
 		}
 	case "Parrived":
-		if op.part >= 0 && r.nparts >= 0 && op.part >= r.nparts {
-			report("Parrived partition %d out of range [0,%d) on request %s%s", op.part, r.nparts, name, viaDesc)
+		if op.part >= 0 {
+			checks = append(checks, pflowCheck{
+				fires: live(func(st pflowState) bool { return st.nparts >= 0 && op.part >= st.nparts }),
+				msg:   fmt.Sprintf("Parrived partition %d out of range [0,%d) on request %s%s", op.part, rep.nparts, name, viaDesc),
+			})
 		}
 	case "Wait":
-		if !r.started {
-			report("Wait before Start on request %s%s", name, viaDesc)
-		}
-		r.started = false
-	case "Test":
-		r.started = false
+		checks = append(checks, pflowCheck{
+			fires: live(func(st pflowState) bool { return !st.started }),
+			msg:   fmt.Sprintf("Wait before Start on request %s%s", name, viaDesc),
+		})
 	case "Free":
-		if r.started {
-			report("Free of request %s%s inside an active epoch (missing Wait)", name, viaDesc)
+		checks = append(checks, pflowCheck{
+			fires: live(func(st pflowState) bool { return st.started }),
+			msg:   fmt.Sprintf("Free of request %s%s inside an active epoch (missing Wait)", name, viaDesc),
+		})
+	}
+	return checks
+}
+
+// pflowAdvance steps one state by one operation.
+func pflowAdvance(st pflowState, op partOp, via *FuncNode) pflowState {
+	if !st.freed {
+		switch op.method {
+		case "Start":
+			st.started = true
+			st.readied = 0
+		case "Pready":
+			if op.part >= 0 && op.part < 64 {
+				st.readied |= 1 << uint(op.part)
+			}
+		case "Wait", "Test":
+			st.started = false
+		case "Free":
+			st.freed = true
 		}
-		r.freed = true
 	}
 	if via != nil {
-		r.interproc = true
+		st.interproc = true
 	}
+	return st
+}
+
+// applyOp advances every possible state by one operation and, during the
+// replay pass, reports violations that hold in every state. via is the
+// helper the op arrived through (nil for a direct caller-side op);
+// reportPos anchors the diagnostic at the caller's call site.
+func (cx *pflowCtx) applyOp(blk *CFGBlock, name string, states []pflowState, op partOp, via *FuncNode, reportPos token.Pos) []pflowState {
+	if len(states) == 0 {
+		return nil
+	}
+	if cx.reporting {
+		viaDesc := ""
+		if op.via != nil {
+			viaDesc = fmt.Sprintf(" (issued inside %s)", op.via.ShortName())
+		}
+		// Eligibility: interprocedural findings are always this analyzer's;
+		// purely local ones only when partitionedorder does not already
+		// report at this operation (its straight-line walk was replayed).
+		eligible := via != nil
+		if !eligible {
+			eligible = true
+			for _, st := range states {
+				if !st.interproc {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				eligible = !cx.covered[op.pos]
+			}
+		}
+		if eligible {
+			for _, chk := range pflowChecks(op, name, viaDesc, states[0]) {
+				all := true
+				for _, st := range states {
+					if !chk.fires(st) {
+						all = false
+						break
+					}
+				}
+				if !all {
+					continue
+				}
+				msg := chk.msg + cx.pathDesc(states, blk)
+				var chain []ChainStep
+				if via != nil {
+					chain = cx.pass.opChain(via, op)
+				}
+				cx.pass.ReportfChain(reportPos, chain, "%s", msg)
+			}
+		}
+	}
+	out := make([]pflowState, 0, len(states))
+	for _, st := range states {
+		out = append(out, pflowAdvance(st, op, via))
+	}
+	return pflowCanon(out)
+}
+
+// pathDesc renders the branch path from the earliest tracking start to the
+// violating block: the condition lines traversed and the direction taken.
+// Because violations are must-violations, any init-to-violation path is a
+// genuine witness; the BFS-shortest one is rendered. Straight-line
+// violations yield "".
+func (cx *pflowCtx) pathDesc(states []pflowState, blk *CFGBlock) string {
+	initBlock := states[0].initBlock
+	for _, st := range states[1:] {
+		if st.initBlock < initBlock {
+			initBlock = st.initBlock
+		}
+	}
+	if initBlock == blk.Index {
+		return ""
+	}
+	prev := make([]int, len(cx.cfg.Blocks))
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[initBlock] = -1
+	queue := []int{initBlock}
+	for len(queue) > 0 && prev[blk.Index] == -2 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, s := range cx.cfg.Blocks[cur].Succs {
+			if prev[s.Index] == -2 {
+				prev[s.Index] = cur
+				queue = append(queue, s.Index)
+			}
+		}
+	}
+	if prev[blk.Index] == -2 {
+		return ""
+	}
+	var hops []string
+	for cur := blk.Index; prev[cur] >= 0; cur = prev[cur] {
+		p := cx.cfg.Blocks[prev[cur]]
+		if p.Cond == nil {
+			continue
+		}
+		dir := "false"
+		if len(p.Succs) > 0 && p.Succs[0].Index == cur {
+			dir = "true"
+		}
+		line := cx.node.Pkg.Fset.Position(p.Cond.Pos()).Line
+		hops = append(hops, fmt.Sprintf("branch at line %d (%s)", line, dir))
+	}
+	if len(hops) == 0 {
+		return ""
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return " [path: " + strings.Join(hops, " -> ") + "]"
 }
 
 // opChain renders the helper chain of an op: the entered helper, then the

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -47,6 +48,12 @@ type partReq struct {
 	arrived  bool         // Parrived/Wait/Test observed since Start
 }
 
+// partReporter receives the diagnostics of the straight-line walk. It is
+// pass.Reportf for the analyzer itself; partitionedflow injects a collector
+// instead to learn which findings this analyzer already owns (so the
+// flow-sensitive engine never reports the same violation twice).
+type partReporter func(pos token.Pos, format string, args ...interface{})
+
 func runPartitionedOrder(pass *Pass) {
 	for _, f := range pass.Files() {
 		ast.Inspect(f.Ast, func(n ast.Node) bool {
@@ -60,7 +67,7 @@ func runPartitionedOrder(pass *Pass) {
 				return true
 			}
 			if body != nil {
-				scanPartBlock(pass, body, map[string]*partReq{})
+				scanPartBlock(pass.Reportf, body, map[string]*partReq{})
 			}
 			return true
 		})
@@ -71,17 +78,17 @@ func runPartitionedOrder(pass *Pass) {
 // states. Compound statements drop any tracked variable they mention and are
 // then scanned with fresh state (so self-contained misuse inside them is
 // still caught).
-func scanPartBlock(pass *Pass, block *ast.BlockStmt, reqs map[string]*partReq) {
+func scanPartBlock(rep partReporter, block *ast.BlockStmt, reqs map[string]*partReq) {
 	for _, stmt := range block.List {
 		switch s := stmt.(type) {
 		case *ast.AssignStmt:
 			trackPartInit(s, reqs)
-			checkBufferReads(pass, s, reqs)
+			checkBufferReads(rep, s, reqs)
 		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok && stepPartCall(pass, call, reqs) {
+			if call, ok := s.X.(*ast.CallExpr); ok && stepPartCall(rep, call, reqs) {
 				continue
 			}
-			checkBufferReads(pass, s, reqs)
+			checkBufferReads(rep, s, reqs)
 		case *ast.DeferStmt:
 			// defer x.Free()/x.Wait(p) runs at function exit; treat it as
 			// well-formed cleanup and stop tracking the variable.
@@ -89,7 +96,7 @@ func scanPartBlock(pass *Pass, block *ast.BlockStmt, reqs map[string]*partReq) {
 				delete(reqs, id.Name)
 			}
 		case *ast.ReturnStmt:
-			checkBufferReads(pass, s, reqs)
+			checkBufferReads(rep, s, reqs)
 			return
 		default:
 			// Compound statement (if/for/switch/range/block/...): untrack
@@ -102,7 +109,7 @@ func scanPartBlock(pass *Pass, block *ast.BlockStmt, reqs map[string]*partReq) {
 			}
 			ast.Inspect(stmt, func(m ast.Node) bool {
 				if b, ok := m.(*ast.BlockStmt); ok {
-					scanPartBlock(pass, b, map[string]*partReq{})
+					scanPartBlock(rep, b, map[string]*partReq{})
 					return false
 				}
 				return true
@@ -146,7 +153,7 @@ func trackPartInit(s *ast.AssignStmt, reqs map[string]*partReq) {
 
 // stepPartCall advances the state machine for `x.Method(...)` statements.
 // It returns true when the call was a tracked request operation.
-func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool {
+func stepPartCall(rep partReporter, call *ast.CallExpr, reqs map[string]*partReq) bool {
 	id := recvIdent(call)
 	if id == nil {
 		return false
@@ -158,7 +165,7 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 	method := calleeName(call)
 	use := func() bool {
 		if r.freed {
-			pass.Reportf(call.Pos(), "%s on freed request %s: use after Free", method, id.Name)
+			rep(call.Pos(), "%s on freed request %s: use after Free", method, id.Name)
 			return false
 		}
 		return true
@@ -169,7 +176,7 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 			return true
 		}
 		if r.started {
-			pass.Reportf(call.Pos(), "Start on already-started request %s: missing Wait between epochs", id.Name)
+			rep(call.Pos(), "Start on already-started request %s: missing Wait between epochs", id.Name)
 		}
 		r.started = true
 		r.everInit = true
@@ -180,21 +187,21 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 			return true
 		}
 		if !r.started {
-			pass.Reportf(call.Pos(), "PbufPrepare before Start on request %s", id.Name)
+			rep(call.Pos(), "PbufPrepare before Start on request %s", id.Name)
 		}
 	case "Pready":
 		if !use() {
 			return true
 		}
 		if !r.started {
-			pass.Reportf(call.Pos(), "Pready before Start on request %s", id.Name)
+			rep(call.Pos(), "Pready before Start on request %s", id.Name)
 		}
 		if len(call.Args) >= 2 {
 			if part, ok := intLit(call.Args[1]); ok {
 				if r.nparts >= 0 && (part < 0 || part >= r.nparts) {
-					pass.Reportf(call.Pos(), "Pready partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
+					rep(call.Pos(), "Pready partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
 				} else if r.readied[part] {
-					pass.Reportf(call.Pos(), "duplicate Pready of partition %d on request %s in the same epoch", part, id.Name)
+					rep(call.Pos(), "duplicate Pready of partition %d on request %s in the same epoch", part, id.Name)
 				}
 				r.readied[part] = true
 			}
@@ -205,7 +212,7 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 		}
 		if len(call.Args) >= 1 {
 			if part, ok := intLit(call.Args[0]); ok && r.nparts >= 0 && (part < 0 || part >= r.nparts) {
-				pass.Reportf(call.Pos(), "Parrived partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
+				rep(call.Pos(), "Parrived partition %d out of range [0,%d) on request %s", part, r.nparts, id.Name)
 			}
 		}
 		r.arrived = true
@@ -214,7 +221,7 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 			return true
 		}
 		if !r.started {
-			pass.Reportf(call.Pos(), "Wait before Start on request %s", id.Name)
+			rep(call.Pos(), "Wait before Start on request %s", id.Name)
 		}
 		r.started = false
 		r.arrived = true
@@ -230,7 +237,7 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 			return true
 		}
 		if r.started {
-			pass.Reportf(call.Pos(), "Free of request %s inside an active epoch (missing Wait)", id.Name)
+			rep(call.Pos(), "Free of request %s inside an active epoch (missing Wait)", id.Name)
 		}
 		r.freed = true
 	default:
@@ -242,13 +249,13 @@ func stepPartCall(pass *Pass, call *ast.CallExpr, reqs map[string]*partReq) bool
 // checkBufferReads reports uses of a tracked receive buffer while its
 // epoch is open and no Parrived/Wait has been observed: the sender may still
 // be writing into it.
-func checkBufferReads(pass *Pass, stmt ast.Stmt, reqs map[string]*partReq) {
+func checkBufferReads(rep partReporter, stmt ast.Stmt, reqs map[string]*partReq) {
 	for name, r := range reqs {
 		if r.dir != "recv" || r.bufName == "" || !r.started || r.arrived {
 			continue
 		}
 		if usesIdent(stmt, r.bufName) {
-			pass.Reportf(stmt.Pos(), "read of receive buffer %s of request %s before Parrived/Wait: the epoch is still open", r.bufName, name)
+			rep(stmt.Pos(), "read of receive buffer %s of request %s before Parrived/Wait: the epoch is still open", r.bufName, name)
 			r.arrived = true // one report per epoch is enough
 		}
 	}

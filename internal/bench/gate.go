@@ -84,9 +84,12 @@ func GatePoints(model *cluster.Model) []runner.Point {
 		)
 	}
 	// Figs. 6/7: the three allreduce implementations on both topologies.
-	for fig, topo := range map[string]cluster.Topology{
-		"fig6": cluster.OneNodeGH200(), "fig7": cluster.TwoNodeGH200(),
+	// (Figure/topology pairs are ordered slices, not maps: point builders
+	// run sim code, so construction order must be deterministic.)
+	for _, ft := range []figTopo{
+		{"fig6", cluster.OneNodeGH200()}, {"fig7", cluster.TwoNodeGH200()},
 	} {
+		fig, topo := ft.fig, ft.topo
 		for _, g := range []int{128, 256} {
 			cfg := AllreduceConfig{Topo: topo, Grid: g, UserParts: 4, Model: model}
 			id := fig + "/g=" + itoa(g)
@@ -98,18 +101,20 @@ func GatePoints(model *cluster.Model) []runner.Point {
 		}
 	}
 	// Figs. 8/9: Jacobi at the two smallest multipliers.
-	for fig, topo := range map[string]cluster.Topology{
-		"fig8": cluster.OneNodeGH200(), "fig9": cluster.TwoNodeGH200(),
+	for _, ft := range []figTopo{
+		{"fig8", cluster.OneNodeGH200()}, {"fig9", cluster.TwoNodeGH200()},
 	} {
+		fig, topo := ft.fig, ft.topo
 		for _, mult := range []int{1, 2} {
 			id := fig + "/mult=" + itoa(mult)
 			pts = append(pts, jacobiGatePoints(id, topo, JacobiBaseTile*mult)...)
 		}
 	}
 	// Figs. 10/11: the deep-learning kernel at the smallest paper grid.
-	for fig, topo := range map[string]cluster.Topology{
-		"fig10": cluster.OneNodeGH200(), "fig11": cluster.TwoNodeGH200(),
+	for _, ft := range []figTopo{
+		{"fig10", cluster.OneNodeGH200()}, {"fig11", cluster.TwoNodeGH200()},
 	} {
+		fig, topo := ft.fig, ft.topo
 		id := fig + "/g=128"
 		cfg := dlGateConfig()
 		pts = append(pts,
@@ -140,6 +145,12 @@ func GatePoints(model *cluster.Model) []runner.Point {
 
 	sort.Slice(pts, func(i, j int) bool { return pts[i].ID < pts[j].ID })
 	return pts
+}
+
+// figTopo pairs a figure label with the topology it is evaluated on.
+type figTopo struct {
+	fig  string
+	topo cluster.Topology
 }
 
 // jacobiGatePoints returns the traditional/partitioned Jacobi pair at one

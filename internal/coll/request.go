@@ -2,6 +2,7 @@ package coll
 
 import (
 	"fmt"
+	"sort"
 
 	"mpipart/internal/core"
 	"mpipart/internal/gpu"
@@ -179,12 +180,12 @@ func InitWithScheduleBuffers(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float6
 	sendChunk := map[int][]int{}
 	recvChunk := map[int][]int{}
 	recvReduce := map[int][]bool{}
-	for nbr, uses := range sched.SendUses {
-		sendChunk[nbr] = make([]int, uses)
+	for _, nbr := range sortedNbrs(sched.SendUses) {
+		sendChunk[nbr] = make([]int, sched.SendUses[nbr])
 	}
-	for nbr, uses := range sched.RecvUses {
-		recvChunk[nbr] = make([]int, uses)
-		recvReduce[nbr] = make([]bool, uses)
+	for _, nbr := range sortedNbrs(sched.RecvUses) {
+		recvChunk[nbr] = make([]int, sched.RecvUses[nbr])
+		recvReduce[nbr] = make([]bool, sched.RecvUses[nbr])
 	}
 	for _, st := range sched.Steps {
 		for _, eu := range st.Out {
@@ -196,10 +197,14 @@ func InitWithScheduleBuffers(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float6
 		}
 	}
 
-	// Build the point-to-point channels. Send transport partition
-	// (up, use) is a view of the user chunk the schedule says that use
-	// carries (data is read at Pready time, i.e. after reductions).
-	for nbr, uses := range sched.SendUses {
+	// Build the point-to-point channels in ascending neighbour order: the
+	// inits charge virtual time and register with the transport, so the
+	// posting order must be identical on every run for the schedule (and the
+	// golden gate) to reproduce. Send transport partition (up, use) is a
+	// view of the user chunk the schedule says that use carries (data is
+	// read at Pready time, i.e. after reductions).
+	for _, nbr := range sortedNbrs(sched.SendUses) {
+		uses := sched.SendUses[nbr]
 		parts := make([][]float64, 0, userParts*uses)
 		for u := 0; u < userParts; u++ {
 			for use := 0; use < uses; use++ {
@@ -211,7 +216,8 @@ func InitWithScheduleBuffers(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float6
 	// Receive transport partitions land in staging when the step reduces
 	// (reduce-scatter phase) and directly in the user chunk otherwise
 	// (allgather phase / broadcasts).
-	for nbr, uses := range sched.RecvUses {
+	for _, nbr := range sortedNbrs(sched.RecvUses) {
+		uses := sched.RecvUses[nbr]
 		parts := make([][]float64, 0, userParts*uses)
 		stag := make([][]float64, userParts*uses)
 		for u := 0; u < userParts; u++ {
@@ -301,11 +307,11 @@ func (c *Request) Start(p *sim.Proc) {
 		c.devHandle.resetEpoch()
 	}
 	c.resetStates()
-	for _, s := range c.sends {
-		s.Start(p)
+	for _, nbr := range sortedNbrs(c.sends) {
+		c.sends[nbr].Start(p)
 	}
-	for _, rr := range c.recvs {
-		rr.Start(p)
+	for _, nbr := range sortedNbrs(c.recvs) {
+		c.recvs[nbr].Start(p)
 	}
 	if !c.active {
 		c.active = true
@@ -323,11 +329,11 @@ func (c *Request) PbufPrepare(p *sim.Proc) {
 	if !c.started {
 		panic("coll: PbufPrepare before Start")
 	}
-	for _, rr := range c.recvs {
-		rr.PbufPrepare(p)
+	for _, nbr := range sortedNbrs(c.recvs) {
+		c.recvs[nbr].PbufPrepare(p)
 	}
-	for _, s := range c.sends {
-		s.PbufPrepare(p)
+	for _, nbr := range sortedNbrs(c.sends) {
+		c.sends[nbr].PbufPrepare(p)
 	}
 	c.prepared = true
 }
@@ -496,11 +502,11 @@ func (c *Request) Wait(p *sim.Proc) {
 			p.Wait(c.R.W.Model.ProgressPollInterval)
 		}
 	}
-	for _, s := range c.sends {
-		s.Wait(p)
+	for _, nbr := range sortedNbrs(c.sends) {
+		c.sends[nbr].Wait(p)
 	}
-	for _, rr := range c.recvs {
-		rr.Wait(p)
+	for _, nbr := range sortedNbrs(c.recvs) {
+		c.recvs[nbr].Wait(p)
 	}
 	c.started = false
 	c.active = false
@@ -511,14 +517,28 @@ func (c *Request) Free() {
 	if c.started {
 		panic("coll: Free of active collective")
 	}
-	for _, s := range c.sends {
-		s.Free()
+	for _, nbr := range sortedNbrs(c.sends) {
+		c.sends[nbr].Free()
 	}
-	for _, rr := range c.recvs {
-		rr.Free()
+	for _, nbr := range sortedNbrs(c.recvs) {
+		c.recvs[nbr].Free()
 	}
 	c.freed = true
 	c.active = false
+}
+
+// sortedNbrs returns the keys of a neighbour-indexed map in ascending
+// order. Epoch operations (Start, PbufPrepare, Wait, Free) and channel
+// construction walk neighbours through this, never the map directly: their
+// calls block and charge virtual time, so map-iteration order would leak
+// schedule nondeterminism into the simulation.
+func sortedNbrs[V any](m map[int]V) []int {
+	nbrs := make([]int, 0, len(m))
+	for n := range m {
+		nbrs = append(nbrs, n)
+	}
+	sort.Ints(nbrs)
+	return nbrs
 }
 
 func (c *Request) checkUsable() {

@@ -32,7 +32,7 @@ type Fabric struct {
 	hostDev  []*sim.Pipe // per-GPU host→device C2C bulk
 	devHost  []*sim.Pipe // per-GPU device→host C2C bulk
 	flagPipe []*sim.Pipe // per-GPU serialized device→host flag writes
-	loop     []*sim.Pipe // per-node host loopback (control messages)
+	loop     []*sim.Pipe // directed intra-node host pair loopback, src*nGPU+dst
 }
 
 // New creates a Fabric for the given machine.
@@ -48,7 +48,7 @@ func New(k *sim.Kernel, m *cluster.Model, topo cluster.Topology) *Fabric {
 		hostDev:  make([]*sim.Pipe, n),
 		devHost:  make([]*sim.Pipe, n),
 		flagPipe: make([]*sim.Pipe, n),
-		loop:     make([]*sim.Pipe, topo.Nodes),
+		loop:     make([]*sim.Pipe, n*n),
 	}
 }
 
@@ -129,15 +129,20 @@ func (f *Fabric) FlagWritePipe(g int) *sim.Pipe {
 
 // ControlRoute returns the control-message (active message) pipe between the
 // host CPUs owning GPUs src and dst: shared-memory loopback within a node,
-// the NIC path between nodes.
+// the NIC path between nodes. Loopback pipes are per directed pair — a shm
+// queue between two processes is private to that pair and copied by the
+// sender's core, so independent pairs do not serialize against each other
+// (and, crucially for the schedule-invariance gate, simultaneous control
+// messages between different pairs cannot contend for FIFO slots in
+// arrival order).
 func (f *Fabric) ControlRoute(src, dst int) *sim.Pipe {
 	if f.Topo.SameNode(src, dst) {
-		n := f.Topo.NodeOf(src)
-		p := f.loop[n]
+		key := src*f.nGPU + dst
+		p := f.loop[key]
 		if p == nil {
-			p = sim.NewPipe(f.K, fmt.Sprintf("shm-%d", n),
+			p = sim.NewPipe(f.K, fmt.Sprintf("shm-%d-%d", src, dst),
 				f.Model.HostLoopbackLatency, f.Model.ShmBytesPerSec)
-			f.loop[n] = p
+			f.loop[key] = p
 		}
 		return p
 	}

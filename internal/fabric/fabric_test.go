@@ -77,8 +77,11 @@ func TestControlRouteIntraNodeIsLoopback(t *testing.T) {
 	if p.Latency != f.Model.HostLoopbackLatency {
 		t.Fatalf("intra-node control latency = %v, want loopback", p.Latency)
 	}
-	if f.ControlRoute(2, 3) != p {
-		t.Fatal("loopback shared per node")
+	if f.ControlRoute(2, 3) == p {
+		t.Fatal("loopback must be per directed pair: independent pairs do not serialize against each other")
+	}
+	if f.ControlRoute(0, 1) != p {
+		t.Fatal("loopback pipe not cached per pair")
 	}
 	q := f.ControlRoute(0, 4)
 	if q.Latency != f.Model.IBLatency {

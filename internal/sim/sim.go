@@ -41,6 +41,35 @@
 //
 // The mpivet analyzer hotpathalloc enforces the "no fmt / no closures / no
 // string concat" property on the scheduler-path functions.
+//
+// # Same-timestamp semantics and schedule perturbation
+//
+// The kernel splits same-timestamp ordering into defined and arbitrary
+// parts:
+//
+//   - Defined: procs resume in FIFO arrival order (ready queue, cond waiter
+//     lists, timer wakes by schedule order) — the SimPy-style contract that
+//     model code may rely on, pinned by the cond FIFO tests. And, as a
+//     delta-cycle rule borrowed from HDL simulators, all callbacks at time t
+//     (phase 0: transfer completions, flag writes) run before any proc
+//     waking at t (phase 1) observes the state — a poll that wakes exactly
+//     when a completion lands always sees it, regardless of scheduling
+//     order.
+//   - Arbitrary: the relative order of the callbacks themselves. They model
+//     asynchronous completions from independent sources (NIC deliveries,
+//     DMA completions), which real hardware — and the planned sharded-PDES
+//     scheduler, which merges simultaneous events from different time
+//     domains — does not order.
+//
+// ShuffleTieBreaks (or a process-wide SetShuffleSeed) perturbs exactly the
+// arbitrary part: same-timestamp callbacks run in a seeded-PRNG order
+// instead of schedule order, while virtual time and the defined FIFO
+// semantics are untouched. A perturbed run is still deterministic per seed,
+// so any divergence in observable results between seeds is a reproducible
+// witness of hidden dependence on simultaneous-event arrival order.
+// cmd/benchgate -shuffle-seeds gates the golden baselines on invariance
+// under N such seeds — the machine-checked precondition for the PDES
+// refactor.
 package sim
 
 import (
@@ -187,22 +216,54 @@ func (p *Proc) Now() Time { return p.k.now }
 // make ready (proc != nil). Storing the proc directly lets WaitUntil
 // schedule its own wake without allocating a closure; events are values in
 // the heap slice, so steady-state At/WaitUntil allocate nothing.
+//
+// Same-timestamp event ordering is two-keyed:
+//
+//   - phase is the semantic delta-cycle rule (as in HDL simulators):
+//     callbacks (phase 0) complete state transitions — transfer
+//     completions, flag writes — before any proc waking at the same time
+//     (phase 1) observes the state. A poll loop that wakes at exactly the
+//     instant a completion lands therefore always sees it, regardless of
+//     which event was scheduled first. That makes model results invariant
+//     under tie-break perturbation instead of depending on arrival order.
+//   - pri is the schedule-perturbation tiebreaker: always zero in normal
+//     runs (so ordering degrades to (at, phase, seq)), drawn from the
+//     kernel's shuffle PRNG for callbacks in perturbation mode so
+//     simultaneous completions pop in a seed-determined random order.
+//     Timer wakes never draw a pri: proc resumption order is defined FIFO
+//     semantics.
 type event struct {
-	at   Time
-	seq  uint64
-	fn   func()
-	proc *Proc
+	at    Time
+	seq   uint64
+	pri   uint64
+	phase uint8
+	fn    func()
+	proc  *Proc
 }
 
-// eventHeap is an inline 4-ary min-heap ordered by (at, seq). The (at, seq)
-// key is a strict total order (seq is unique), so pop order — and therefore
-// every virtual-time trace — is identical to any other correct priority
-// queue over the same keys; only the constant factor changed.
+// Delta-cycle phases of same-timestamp events.
+const (
+	phaseCallback uint8 = 0 // At/After callbacks: state transitions
+	phaseWake     uint8 = 1 // timer wakes: procs observing the state
+)
+
+// eventHeap is an inline 4-ary min-heap ordered by (at, phase, pri, seq).
+// With all pri zero (the default) the key is a strict total order (seq is
+// unique), so pop order — and therefore every virtual-time trace — is
+// identical to any other correct priority queue over the same keys. In
+// schedule-perturbation mode pri randomizes the order of same-phase
+// same-timestamp events while seq still breaks exact pri ties.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
+	}
+	if h[i].phase != h[j].phase {
+		return h[i].phase < h[j].phase
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
@@ -282,6 +343,7 @@ type Kernel struct {
 	live       []*Proc // all non-done procs, for deadlock diagnostics
 	running    bool
 	rng        *rand.Rand
+	shuffle    *rand.Rand // non-nil = schedule-perturbation mode (never k.rng)
 	stopped    bool
 	poisoned   bool // stopped kernel drained; parked procs unwind on wake
 	panicked   error
@@ -290,13 +352,52 @@ type Kernel struct {
 	flushed    int64 // portion of dispatched already added to totalDispatched
 }
 
+// shuffleSeed is the process-wide schedule-perturbation seed (0 = off).
+// cmd/benchgate sets it once before a shuffled sweep; runner workers then
+// construct kernels concurrently, so the slot is atomic.
+var shuffleSeed atomic.Int64
+
+// SetShuffleSeed enables (non-zero) or disables (zero) schedule-perturbation
+// mode for every kernel constructed afterwards. Each kernel derives its own
+// shuffle PRNG by mixing the process seed with its NewKernel seed, so a
+// shuffled sweep is still fully deterministic per (process seed, kernel
+// seed) pair. Set it before constructing kernels, not while a sweep runs.
+func SetShuffleSeed(seed int64) { shuffleSeed.Store(seed) }
+
 // NewKernel creates an empty simulation with the clock at zero. The seed
-// feeds the deterministic RNG exposed via Rand.
+// feeds the deterministic RNG exposed via Rand. If a process-wide shuffle
+// seed is set (SetShuffleSeed), the kernel starts in schedule-perturbation
+// mode.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		yieldCh: make(chan yieldMsg),
 		rng:     rand.New(rand.NewSource(seed)),
 	}
+	if s := shuffleSeed.Load(); s != 0 {
+		k.ShuffleTieBreaks(s ^ seed*0x9E3779B9)
+	}
+	return k
+}
+
+// ShuffleTieBreaks switches this kernel into schedule-perturbation mode:
+// same-timestamp callbacks (At/After events — modelled asynchronous
+// completions) run in a seed-determined random order instead of schedule
+// order. Everything the kernel defines — virtual time, cross-timestamp
+// order, FIFO proc resumption, the callbacks-before-wakes delta-cycle rule
+// (see the package doc) — is untouched; only the arrival order among
+// simultaneous completions, which the contract leaves arbitrary, is
+// randomized. A perturbed run is still fully deterministic for a given
+// seed. The perturbation PRNG is separate from Rand(), so model code
+// consuming the kernel RNG draws the same stream in both modes.
+//
+// The mode exists to expose hidden schedule dependence: any observable
+// model result (a golden metric, a figure point) that changes under
+// shuffled tie-breaks was depending on an event order that the planned
+// sharded-PDES scheduler — and real hardware — does not guarantee.
+// cmd/benchgate -shuffle-seeds runs the whole golden sweep under N seeds
+// and requires byte-identical results.
+func (k *Kernel) ShuffleTieBreaks(seed int64) {
+	k.shuffle = rand.New(rand.NewSource(seed))
 }
 
 // Now returns the current virtual time.
@@ -315,12 +416,25 @@ func (k *Kernel) nextSeq() uint64 {
 	return k.seq
 }
 
+// eventPri returns the perturbation tiebreaker for a new callback event:
+// zero in normal mode (ordering stays (at, phase, seq)), a shuffle-PRNG
+// draw in schedule-perturbation mode. Timer wakes never draw one — proc
+// resumption order is defined FIFO semantics, not an arbitrary tie (see
+// the package doc). rand.Rand.Uint64 does not allocate, so the hot path
+// stays allocation-free in both modes.
+func (k *Kernel) eventPri() uint64 {
+	if k.shuffle == nil {
+		return 0
+	}
+	return k.shuffle.Uint64()
+}
+
 // At schedules fn to run at absolute virtual time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
-	k.events.push(event{at: t, seq: k.nextSeq(), fn: fn})
+	k.events.push(event{at: t, seq: k.nextSeq(), pri: k.eventPri(), phase: phaseCallback, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -456,13 +570,14 @@ func (p *Proc) WaitUntil(t Time) {
 		// Lone-timer fast path: no proc is ready and the earliest pending
 		// event fires strictly after t, so the scheduler's only possible move
 		// is to advance the clock to t and resume this proc. (An event at
-		// exactly t would still win the (time, seq) tie-break — this wake
-		// would get the newest seq — so that case takes the slow path.) Do
+		// exactly t would still win the (time, phase, seq) tie-break — this
+		// wake would get wake phase and the newest seq — so that case takes
+		// the slow path.) Do
 		// the forced move in place, skipping both goroutine handoffs.
 		k.now = t
 		return
 	}
-	k.events.push(event{at: t, seq: k.nextSeq(), proc: p})
+	k.events.push(event{at: t, seq: k.nextSeq(), phase: phaseWake, proc: p})
 	p.block(stateTimed, blockReason{kind: blockTimer, t: t})
 }
 
