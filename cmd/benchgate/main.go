@@ -20,9 +20,19 @@
 //	benchgate -write BENCH_GOLDEN.json            # regenerate deliberately
 //	benchgate -check ... -report diff.txt         # also write the diff report
 //	benchgate -workers 8 | -seq                   # pool size (default GOMAXPROCS)
+//	benchgate -store sweep-store                  # persistent result cache
+//	benchgate -server http://127.0.0.1:7077       # gate against a sweepd daemon
 //	benchgate -perf BENCH_PERF.json               # host-perf sidecar (default)
 //	benchgate -cpuprofile cpu.pprof -memprofile mem.pprof
 //	benchgate -shuffle-seeds 16                   # schedule-invariance fuzz
+//
+// With -store DIR the runner is backed by the persistent content-addressed
+// store (internal/runner/store): a warm store replays the whole gate without
+// recomputing, and the result is byte-identical either way. With -server URL
+// the points are fetched from a running sweepd daemon instead of computed
+// here — the third execution mode that must also gate byte-identically. The
+// perf sidecar and shuffle fuzz measure local execution, so -server skips
+// the sidecar and refuses -shuffle-seeds.
 //
 // With -shuffle-seeds N the gate additionally re-runs the entire sweep N
 // times under seeded schedule perturbation (sim.SetShuffleSeed): same-time
@@ -45,6 +55,8 @@ import (
 
 	"mpipart/internal/bench"
 	"mpipart/internal/runner"
+	"mpipart/internal/runner/store"
+	"mpipart/internal/serve"
 	"mpipart/internal/sim"
 )
 
@@ -59,6 +71,9 @@ func main() {
 		perf       = flag.String("perf", "BENCH_PERF.json", "write host-perf stats (wall time, dispatches/sec) to this file; '' disables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the gate run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the gate run to this file")
+
+		storeDir = flag.String("store", "", "back the runner with a persistent content-addressed store at this root")
+		server   = flag.String("server", "", "fetch the gate points from a sweepd daemon at this URL instead of computing locally")
 
 		shuffleSeeds = flag.Int("shuffle-seeds", 0,
 			"re-run the sweep under N schedule-perturbation seeds and require byte-identical goldens; 0 disables")
@@ -80,6 +95,19 @@ func main() {
 	if *seq {
 		*workers = 1
 	}
+	if *server != "" {
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -store and -server are mutually exclusive (the daemon owns its store)")
+			os.Exit(2)
+		}
+		if *shuffleSeeds > 0 {
+			fmt.Fprintln(os.Stderr, "benchgate: -shuffle-seeds measures local execution; not available with -server")
+			os.Exit(2)
+		}
+		// The perf sidecar records local scheduler cost, which a remote
+		// fetch does not exercise; don't clobber it with zeros.
+		*perf = ""
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -92,10 +120,30 @@ func main() {
 		}
 	}
 
-	r := runner.New(*workers)
+	var r *runner.Runner
+	if *server == "" {
+		if *storeDir != "" {
+			ds, err := store.Open(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			r = runner.NewWithStore(*workers, ds)
+		} else {
+			r = runner.New(*workers)
+		}
+	}
 	d0 := sim.TotalDispatched()
 	t0 := time.Now()
-	got := bench.CollectGolden(r, nil)
+	var got bench.Golden
+	if *server != "" {
+		g, err := serve.NewClient(*server).CollectGolden(nil)
+		if err != nil {
+			fatal(err)
+		}
+		got = g
+	} else {
+		got = bench.CollectGolden(r, nil)
+	}
 	wall := time.Since(t0)
 	dispatches := sim.TotalDispatched() - d0
 	if *cpuProfile != "" {
@@ -117,11 +165,22 @@ func main() {
 	got.Description = "golden virtual-time baselines for the tier-1 figure subset (cmd/benchgate)"
 	got.GOARCH = runtime.GOARCH
 	got.WallMS = wall.Milliseconds()
-	hits, misses := r.Stats()
-	fmt.Printf("benchgate: %d points (%d computed, %d memoized) in %.1fs on %d workers\n",
-		len(got.Points), misses, hits, wall.Seconds(), r.Workers())
-	fmt.Printf("benchgate: %d dispatches, %.0f dispatches/sec\n",
-		dispatches, float64(dispatches)/wall.Seconds())
+	if *server != "" {
+		fmt.Printf("benchgate: %d points fetched from %s in %.1fs\n",
+			len(got.Points), *server, wall.Seconds())
+	} else if *storeDir != "" {
+		cs := r.CacheStats()
+		fmt.Printf("benchgate: %d points (%d computed, %d from store %s, %d memoized) in %.1fs on %d workers\n",
+			len(got.Points), cs.Computed, cs.StoreHits, *storeDir, cs.MemHits, wall.Seconds(), r.Workers())
+	} else {
+		hits, misses := r.Stats()
+		fmt.Printf("benchgate: %d points (%d computed, %d memoized) in %.1fs on %d workers\n",
+			len(got.Points), misses, hits, wall.Seconds(), r.Workers())
+	}
+	if *server == "" {
+		fmt.Printf("benchgate: %d dispatches, %.0f dispatches/sec\n",
+			dispatches, float64(dispatches)/wall.Seconds())
+	}
 
 	if *perf != "" {
 		p := bench.Perf{

@@ -17,6 +17,14 @@
 //	figures -workers 8           # worker pool size (0 = GOMAXPROCS)
 //	figures -seq                 # sequential (same as -workers 1)
 //	figures -outdir figures-csv  # also write one <name>.csv per figure
+//	figures -store sweep-store   # persistent content-addressed result cache
+//	figures -require-warm        # with -store: fail if anything recomputed
+//
+// With -store DIR every point's metrics are read from / written back to the
+// on-disk content-addressed store, so a second run regenerates all output
+// without simulating anything. -require-warm turns that into an assertion:
+// the run exits non-zero if any point was computed rather than replayed —
+// the nightly cache-warm job uses it to prove a 100% hit rate.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 
 	"mpipart/internal/bench"
 	"mpipart/internal/runner"
+	"mpipart/internal/runner/store"
 )
 
 func main() {
@@ -40,8 +49,15 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel sweep workers; 0 = GOMAXPROCS")
 		seq     = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 		outdir  = flag.String("outdir", "", "also write one CSV per figure into this directory")
+
+		storeDir    = flag.String("store", "", "persistent content-addressed result store root")
+		requireWarm = flag.Bool("require-warm", false, "with -store: exit non-zero if any point was computed instead of replayed")
 	)
 	flag.Parse()
+	if *requireWarm && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "figures: -require-warm needs -store")
+		os.Exit(2)
+	}
 
 	if *fig == 0 && *table == 0 {
 		*all = true
@@ -113,7 +129,16 @@ func main() {
 		}
 	}
 
-	tables := bench.RunJobs(runner.New(*workers), jobs)
+	r := runner.New(*workers)
+	if *storeDir != "" {
+		ds, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		r = runner.NewWithStore(*workers, ds)
+	}
+	tables := bench.RunJobs(r, jobs)
 	for i, t := range tables {
 		if *csv {
 			t.CSV(os.Stdout)
@@ -132,6 +157,17 @@ func main() {
 				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *storeDir != "" {
+		cs := r.CacheStats()
+		fmt.Fprintf(os.Stderr, "figures: cache: %d computed, %d from store, %d memoized\n",
+			cs.Computed, cs.StoreHits, cs.MemHits)
+		if *requireWarm && cs.Computed > 0 {
+			fmt.Fprintf(os.Stderr, "figures: -require-warm: %d points were recomputed; the store at %s is not fully warm\n",
+				cs.Computed, *storeDir)
+			os.Exit(1)
 		}
 	}
 }

@@ -279,6 +279,61 @@ func f() {
 			},
 		},
 		{
+			// The serving-layer shapes: an HTTP response body whose Close
+			// error is dropped on the floor is flagged, while the two
+			// sanctioned forms — `defer resp.Body.Close()` (a DeferStmt,
+			// not an ExprStmt) and the explicit `_ =` discard — stay
+			// silent.
+			name:     "errcheck_http_body_close",
+			analyzer: "errcheck-lite",
+			pkgPath:  "mpipart/internal/fixture",
+			src: `package fixture
+import "net/http"
+func bad(resp *http.Response) {
+	resp.Body.Close()
+}
+func deferred(resp *http.Response) {
+	defer resp.Body.Close()
+}
+func discarded(resp *http.Response) {
+	defer func() { _ = resp.Body.Close() }()
+}
+`,
+			want: []string{
+				"result of resp.Body.Close(...) is ignored",
+			},
+		},
+		{
+			// Streaming-encoder error drops: Encode's error is the only
+			// signal that a response body failed mid-write, whether the
+			// encoder is named or constructed inline in the call chain.
+			name:     "errcheck_encoder_drop",
+			analyzer: "errcheck-lite",
+			pkgPath:  "mpipart/internal/fixture",
+			src: `package fixture
+import (
+	"encoding/json"
+	"io"
+)
+func bad(w io.Writer, v interface{}) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+	json.NewEncoder(w).Encode(v)
+}
+func ok(w io.Writer, v interface{}) error {
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		return err
+	}
+	_ = json.NewEncoder(w).Encode(v)
+	return nil
+}
+`,
+			want: []string{
+				"result of enc.Encode(...) is ignored",
+				"result of expr.Encode(...) is ignored",
+			},
+		},
+		{
 			name:     "exhaustive_bad",
 			analyzer: "exhaustive-mech",
 			pkgPath:  "mpipart/internal/fixture",

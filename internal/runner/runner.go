@@ -72,17 +72,55 @@ type Point struct {
 	Run func() Metrics
 }
 
+// KeySchema versions the memoization key layout. It is folded into every
+// key KeyOf produces, so bumping it invalidates all previously stored
+// results at once: an entry written by an older schema can never collide
+// with (and never be served for) a key from the current one. Bump it
+// whenever the meaning of a key changes — a renamed metric, a cost-model
+// field whose %#v rendering is reused for a different quantity, a new
+// simulation input that older keys did not capture.
+//
+// Persistent stores (internal/runner/store) must also embed the schema in
+// their on-disk entries and reject mismatches, so even a store root shared
+// across binaries of different schemas degrades to recompute, never to a
+// stale read.
+const KeySchema = 2
+
 // KeyOf derives a memoization key from the parts of an experiment
 // configuration. Parts are rendered with %#v, which is deterministic for
 // the value kinds used in configurations (structs in field order, scalars,
 // strings); callers must pass models and topologies by value, never by
-// pointer, so the key captures contents rather than addresses.
+// pointer, so the key captures contents rather than addresses. The cost
+// model must always be one of the parts: with a persistent store behind the
+// cache, a key that omitted it would serve one model's metrics for another.
 func KeyOf(parts ...interface{}) string {
+	return keyOf(KeySchema, parts...)
+}
+
+// keyOf is KeyOf at an explicit schema version (split out so tests can
+// prove that bumping the version changes every key).
+func keyOf(schema int, parts ...interface{}) string {
 	h := sha256.New()
+	fmt.Fprintf(h, "mpipart/runner/key-schema:v%d\x00", schema)
 	for _, p := range parts {
 		fmt.Fprintf(h, "%#v\x00", p)
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Store is a persistent second level behind the in-memory memo map. The
+// runner consults it after a memory miss and writes every freshly computed
+// result back. Implementations must be safe for concurrent use and must
+// treat every failure — absent entry, unreadable file, corrupt payload,
+// schema mismatch — as a miss: a Store can only ever cause recomputation,
+// never a wrong result.
+type Store interface {
+	// Load returns the metrics stored under key, or ok=false on any miss.
+	Load(key string) (m Metrics, ok bool)
+	// Save persists metrics under key, best-effort (errors are the
+	// implementation's to swallow or count; the computation already
+	// succeeded and its result is being returned regardless).
+	Save(key string, m Metrics)
 }
 
 // cacheEntry is one memoized (possibly in-flight) computation.
@@ -92,16 +130,27 @@ type cacheEntry struct {
 	panicked interface{} // non-nil if the computing point panicked
 }
 
-// Runner is a bounded worker pool with a cross-sweep memo cache. A Runner
-// may be reused across many Run calls; the cache persists and is safe for
-// concurrent use.
+// CacheStats is the three-way split of how memoized points were satisfied.
+type CacheStats struct {
+	// MemHits counts points served from the in-memory memo map, including
+	// waits on a computation already in flight.
+	MemHits int
+	// StoreHits counts points served from the persistent Store.
+	StoreHits int
+	// Computed counts points that actually executed their simulation.
+	Computed int
+}
+
+// Runner is a bounded worker pool with a cross-sweep memo cache and an
+// optional persistent Store behind it. A Runner may be reused across many
+// Run calls; the cache persists and is safe for concurrent use.
 type Runner struct {
 	workers int
+	store   Store
 
-	mu     sync.Mutex
-	cache  map[string]*cacheEntry
-	hits   int
-	misses int
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
+	stats CacheStats
 }
 
 // New returns a Runner with the given worker count; workers <= 0 selects
@@ -113,15 +162,32 @@ func New(workers int) *Runner {
 	return &Runner{workers: workers, cache: make(map[string]*cacheEntry)}
 }
 
+// NewWithStore returns a Runner backed by a persistent store: memory misses
+// consult the store before computing, and fresh computations are written
+// back. A nil store is the same as New.
+func NewWithStore(workers int, s Store) *Runner {
+	r := New(workers)
+	r.store = s
+	return r
+}
+
 // Workers returns the pool size.
 func (r *Runner) Workers() int { return r.workers }
 
-// Stats returns the memo-cache hit/miss counters (a hit is a point that
-// reused another point's computation, including waiting on one in flight).
+// Stats returns the memo-cache hit/miss counters in their historical
+// (hits, misses) form: hits are in-memory reuses, misses are points that
+// were not in memory (served from the store or computed). CacheStats has
+// the three-way split.
 func (r *Runner) Stats() (hits, misses int) {
+	s := r.CacheStats()
+	return s.MemHits, s.StoreHits + s.Computed
+}
+
+// CacheStats returns how memoized points were satisfied so far.
+func (r *Runner) CacheStats() CacheStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.hits, r.misses
+	return r.stats
 }
 
 // Run executes the points over the worker pool and returns their metrics
@@ -178,15 +244,17 @@ func (r *Runner) Run(points []Point) []Metrics {
 }
 
 // exec runs one point through the memo cache. The first point to claim a
-// key computes it; concurrent points with the same key wait for that
-// computation instead of repeating it.
+// key resolves it — from the persistent store if one is attached and has
+// the entry, by computing otherwise; concurrent points with the same key
+// wait for that resolution instead of repeating it. Store I/O happens
+// outside the runner lock, so a slow disk never serializes the pool.
 func (r *Runner) exec(p Point) Metrics {
 	if p.Key == "" {
 		return p.Run()
 	}
 	r.mu.Lock()
 	if e, ok := r.cache[p.Key]; ok {
-		r.hits++
+		r.stats.MemHits++
 		r.mu.Unlock()
 		<-e.done
 		if e.panicked != nil {
@@ -196,7 +264,6 @@ func (r *Runner) exec(p Point) Metrics {
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	r.cache[p.Key] = e
-	r.misses++
 	r.mu.Unlock()
 
 	defer close(e.done)
@@ -206,6 +273,21 @@ func (r *Runner) exec(p Point) Metrics {
 			panic(rec)
 		}
 	}()
+	if r.store != nil {
+		if m, ok := r.store.Load(p.Key); ok {
+			e.m = m
+			r.mu.Lock()
+			r.stats.StoreHits++
+			r.mu.Unlock()
+			return e.m
+		}
+	}
 	e.m = p.Run()
+	r.mu.Lock()
+	r.stats.Computed++
+	r.mu.Unlock()
+	if r.store != nil {
+		r.store.Save(p.Key, e.m)
+	}
 	return e.m
 }

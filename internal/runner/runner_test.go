@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -105,6 +106,124 @@ func TestKeyOfDistinguishesConfigurations(t *testing.T) {
 	}
 	if again := KeyOf("p2p", topo{1, 4}, 64); again != a {
 		t.Fatalf("KeyOf not stable: %v vs %v", a, again)
+	}
+}
+
+// TestKeySchemaVersionsEveryKey pins the store-invalidation property: the
+// same configuration hashed under a different key schema yields a different
+// key, so a persistent store can never serve an entry written before a
+// schema bump (its file name no longer exists in the new namespace).
+func TestKeySchemaVersionsEveryKey(t *testing.T) {
+	type cfg struct{ Grid int }
+	cur := keyOf(KeySchema, "p2p", cfg{64})
+	old := keyOf(KeySchema-1, "p2p", cfg{64})
+	next := keyOf(KeySchema+1, "p2p", cfg{64})
+	if cur == old || cur == next || old == next {
+		t.Fatalf("schema not folded into key: v%d=%s v%d=%s v%d=%s",
+			KeySchema-1, old, KeySchema, cur, KeySchema+1, next)
+	}
+	if KeyOf("p2p", cfg{64}) != cur {
+		t.Fatal("KeyOf does not use KeySchema")
+	}
+}
+
+// mapStore is an in-memory runner.Store for tests, with optional fault
+// injection.
+type mapStore struct {
+	mu     sync.Mutex
+	m      map[string]Metrics
+	loads  int32
+	saves  int32
+	broken bool // Load always misses (corrupt-store model)
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[string]Metrics{}} }
+
+func (s *mapStore) Load(key string) (Metrics, bool) {
+	atomic.AddInt32(&s.loads, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.broken {
+		return nil, false
+	}
+	m, ok := s.m[key]
+	return m, ok
+}
+
+func (s *mapStore) Save(key string, m Metrics) {
+	atomic.AddInt32(&s.saves, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = m
+}
+
+// TestStoreBackedRunner covers the cold/warm split: a cold runner computes
+// and writes back, a fresh runner over the same store serves every point
+// from it with zero recomputes, and a broken store degrades to recompute.
+func TestStoreBackedRunner(t *testing.T) {
+	mk := func(calls *int32) []Point {
+		pts := make([]Point, 8)
+		for i := range pts {
+			i := i
+			pts[i] = Point{
+				ID:  fmt.Sprintf("p%d", i),
+				Key: KeyOf("store", i%4),
+				Run: func() Metrics {
+					atomic.AddInt32(calls, 1)
+					return Metrics{"v": float64(i % 4)}
+				},
+			}
+		}
+		return pts
+	}
+
+	st := newMapStore()
+	var cold int32
+	r1 := NewWithStore(4, st)
+	out1 := r1.Run(mk(&cold))
+	if cold != 4 {
+		t.Fatalf("cold run computed %d, want 4", cold)
+	}
+	if s := r1.CacheStats(); s.Computed != 4 || s.StoreHits != 0 || s.MemHits != 4 {
+		t.Fatalf("cold stats = %+v", s)
+	}
+	if atomic.LoadInt32(&st.saves) != 4 {
+		t.Fatalf("saves = %d, want 4", st.saves)
+	}
+
+	var warm int32
+	r2 := NewWithStore(4, st)
+	out2 := r2.Run(mk(&warm))
+	if warm != 0 {
+		t.Fatalf("warm run recomputed %d points", warm)
+	}
+	if s := r2.CacheStats(); s.Computed != 0 || s.StoreHits != 4 || s.MemHits != 4 {
+		t.Fatalf("warm stats = %+v", s)
+	}
+	for i := range out1 {
+		if !out1[i].Equal(out2[i]) {
+			t.Fatalf("store round trip changed point %d: %v vs %v", i, out1[i], out2[i])
+		}
+	}
+	// Historical Stats() view: misses = not-in-memory, regardless of how
+	// they resolved.
+	if hits, misses := r2.Stats(); hits != 4 || misses != 4 {
+		t.Fatalf("Stats() = %d/%d, want 4/4", hits, misses)
+	}
+
+	// A store that loses everything (corruption model) costs recomputes
+	// only.
+	var again int32
+	st.broken = true
+	r3 := NewWithStore(4, st)
+	out3 := r3.Run(mk(&again))
+	if again != 4 {
+		t.Fatalf("broken store: computed %d, want 4", again)
+	}
+	for i := range out1 {
+		if !out1[i].Equal(out3[i]) {
+			t.Fatalf("broken store changed point %d", i)
+		}
 	}
 }
 

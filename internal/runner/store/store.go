@@ -1,0 +1,169 @@
+// Package store persists sweep results on disk, content-addressed by the
+// runner's sha256 memoization key. It is the durable second level behind
+// the in-memory memo map (runner.Store): one JSON file per key under a
+// store root, written atomically via a temp file + rename, so readers —
+// including concurrent processes sharing the root — only ever observe a
+// complete entry or none at all.
+//
+// Every entry embeds the key schema version (runner.KeySchema) and its own
+// full key. Reads verify both, and any failure — absent file, truncated or
+// garbage payload, schema or key mismatch — degrades to a miss, never to an
+// error: a corrupt store can only cost recomputation, it can never serve a
+// wrong or stale result. Bumping runner.KeySchema moves every key to a new
+// per-version directory and changes the hash preamble, so entries from
+// older cost models or key layouts are unreachable twice over.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mpipart/internal/runner"
+)
+
+// entry is the on-disk JSON form of one stored result.
+type entry struct {
+	// Schema is the runner.KeySchema the entry was written under. A reader
+	// at any other schema treats the entry as a miss.
+	Schema int `json:"schema"`
+	// Key is the full memoization key, repeated inside the payload so an
+	// entry that was copied or renamed to the wrong path is rejected.
+	Key     string         `json:"key"`
+	Metrics runner.Metrics `json:"metrics"`
+}
+
+// Stats are the store's operation counters.
+type Stats struct {
+	// Hits / Misses split Load calls; a miss includes absent, corrupt and
+	// wrong-schema entries (Corrupt counts the latter two separately).
+	Hits   int `json:"hits"`
+	Misses int `json:"misses"`
+	// Corrupt counts Load misses caused by an unreadable or invalid entry
+	// file (truncated write, garbage payload, schema or key mismatch).
+	Corrupt int `json:"corrupt"`
+	// Saves counts successful writes; SaveErrors counts writes the store
+	// swallowed (full disk, permissions) — the result was still returned
+	// to the caller, only persistence was lost.
+	Saves      int `json:"saves"`
+	SaveErrors int `json:"save_errors"`
+}
+
+// DiskStore is a content-addressed result store rooted at a directory. It
+// implements runner.Store and is safe for concurrent use by any number of
+// goroutines and processes sharing the root.
+type DiskStore struct {
+	root string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open returns a DiskStore rooted at dir, creating the per-schema
+// directory if needed.
+func Open(dir string) (*DiskStore, error) {
+	s := &DiskStore{root: dir}
+	if err := os.MkdirAll(s.versionDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *DiskStore) Root() string { return s.root }
+
+// Stats returns the operation counters so far.
+func (s *DiskStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// versionDir is the per-key-schema directory: entries from different
+// schemas never share paths, so a schema bump starts from an empty
+// namespace even on a reused root.
+func (s *DiskStore) versionDir() string {
+	return filepath.Join(s.root, fmt.Sprintf("v%d", runner.KeySchema))
+}
+
+// pathFor maps a key to its entry file, sharded by the first key byte to
+// keep directory sizes bounded on large sweeps.
+func (s *DiskStore) pathFor(key string) string {
+	shard := "xx"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(s.versionDir(), shard, key+".json")
+}
+
+// Load implements runner.Store: it returns the metrics stored under key,
+// or ok=false on any miss — absent entry, unreadable file, corrupt JSON,
+// schema or key mismatch. It never returns an error; a broken entry is
+// indistinguishable from a cold one, by design.
+func (s *DiskStore) Load(key string) (runner.Metrics, bool) {
+	raw, err := os.ReadFile(s.pathFor(key))
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Schema != runner.KeySchema || e.Key != key || e.Metrics == nil {
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return e.Metrics, true
+}
+
+// Save implements runner.Store: it persists metrics under key atomically.
+// The entry is written to a temp file in the final directory and renamed
+// into place, so concurrent writers of the same key — even from different
+// processes — each install a complete entry and the last rename wins;
+// readers never see a partial file through this path. Errors are counted,
+// not returned: the computation already succeeded.
+func (s *DiskStore) Save(key string, m runner.Metrics) {
+	path := s.pathFor(key)
+	if err := s.write(path, key, m); err != nil {
+		s.count(func(st *Stats) { st.SaveErrors++ })
+		return
+	}
+	s.count(func(st *Stats) { st.Saves++ })
+}
+
+func (s *DiskStore) write(path, key string, m runner.Metrics) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.Marshal(entry{Schema: runner.KeySchema, Key: key, Metrics: m})
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), "."+key+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (s *DiskStore) count(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}

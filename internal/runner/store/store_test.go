@@ -1,0 +1,296 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mpipart/internal/runner"
+)
+
+func open(t *testing.T) *DiskStore {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := open(t)
+	key := runner.KeyOf("roundtrip", 7)
+	want := runner.Metrics{"elapsed_ns": 12345, "bw_gbps": 149.73}
+	if _, ok := s.Load(key); ok {
+		t.Fatal("cold store reported a hit")
+	}
+	s.Save(key, want)
+	got, ok := s.Load(key)
+	if !ok || !got.Equal(want) {
+		t.Fatalf("Load = %v, %v; want %v, true", got, ok, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Saves != 1 || st.Corrupt != 0 || st.SaveErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Exactness survives the JSON round trip: the gate compares float64s
+	// bit-for-bit, so the store must too.
+	if got["bw_gbps"] != 149.73 || got["elapsed_ns"] != 12345 {
+		t.Fatalf("values drifted: %v", got)
+	}
+}
+
+func TestLoadToleratesTruncatedEntry(t *testing.T) {
+	s := open(t)
+	key := runner.KeyOf("truncated")
+	s.Save(key, runner.Metrics{"v": 1})
+	path := s.pathFor(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn write: only a prefix of the entry reached the disk.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Load(key); ok {
+		t.Fatalf("truncated entry served: %v", m)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("truncation not counted corrupt: %+v", st)
+	}
+	// Recompute-and-save heals the entry in place.
+	s.Save(key, runner.Metrics{"v": 2})
+	if m, ok := s.Load(key); !ok || m["v"] != 2 {
+		t.Fatalf("healed entry = %v, %v", m, ok)
+	}
+}
+
+func TestLoadToleratesGarbage(t *testing.T) {
+	s := open(t)
+	key := runner.KeyOf("garbage")
+	path := s.pathFor(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range []string{
+		"not json at all \x00\xff",
+		`{"schema":`,
+		`[1,2,3]`,
+		`{"schema": 2, "key": "right-shape-wrong-content"}`, // no metrics
+		`null`,
+	} {
+		if err := os.WriteFile(path, []byte(payload), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m, ok := s.Load(key); ok {
+			t.Fatalf("garbage %q served as %v", payload, m)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 5 {
+		t.Fatalf("corrupt count = %d, want 5", st.Corrupt)
+	}
+}
+
+// TestSchemaBumpInvalidatesOldEntries is the satellite acceptance test: an
+// entry written under an older key schema must never be served, whichever
+// of the two defenses catches it. Defense one: keys embed the schema, so an
+// old entry's very path is unreachable. Defense two (exercised here): even
+// an entry file sitting at the *current* key's path but carrying an older
+// embedded schema — e.g. copied across store roots by hand — is rejected on
+// read.
+func TestSchemaBumpInvalidatesOldEntries(t *testing.T) {
+	s := open(t)
+	key := runner.KeyOf("versioned", 1)
+	stale, err := json.Marshal(entry{
+		Schema:  runner.KeySchema - 1,
+		Key:     key,
+		Metrics: runner.Metrics{"v": 666},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := s.pathFor(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Load(key); ok {
+		t.Fatalf("stale-schema entry served: %v", m)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stale schema not counted corrupt: %+v", st)
+	}
+
+	// Defense one, directly: the same configuration keyed under the
+	// previous schema hashes to a different file, so nothing a previous
+	// binary wrote can even be addressed by this one.
+	if s.pathFor(key) == s.pathFor(runner.KeyOf("versioned", 2)) {
+		t.Fatal("distinct keys share a path")
+	}
+}
+
+func TestLoadRejectsRelocatedEntry(t *testing.T) {
+	s := open(t)
+	a, b := runner.KeyOf("relocated", "a"), runner.KeyOf("relocated", "b")
+	s.Save(a, runner.Metrics{"v": 1})
+	// Copy a's entry to b's path: the embedded key no longer matches.
+	raw, err := os.ReadFile(s.pathFor(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.pathFor(b)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.pathFor(b), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := s.Load(b); ok {
+		t.Fatalf("relocated entry served under wrong key: %v", m)
+	}
+}
+
+// TestConcurrentWritersSameKey races many writers and readers on one key
+// across two DiskStore handles (standing in for two processes sharing a
+// root). Every successful read must observe one of the complete written
+// values — atomic rename means a torn or interleaved entry is impossible —
+// and no temp files may survive.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := runner.KeyOf("contended")
+	const writers, rounds = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		s := s1
+		if w%2 == 1 {
+			s = s2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				s.Save(key, runner.Metrics{"writer": float64(w), "round": float64(i)})
+				if m, ok := s.Load(key); ok {
+					// Whichever write won, the entry must be complete:
+					// both fields present and in range.
+					wr, okW := m["writer"]
+					rd, okR := m["round"]
+					if !okW || !okR || wr < 0 || wr >= writers || rd < 0 || rd >= rounds {
+						t.Errorf("torn entry observed: %v", m)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	st := s1.Stats()
+	if st.SaveErrors != 0 {
+		t.Fatalf("concurrent saves errored: %+v", st)
+	}
+	// No temp droppings: everything was renamed or removed.
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreLayout(t *testing.T) {
+	s := open(t)
+	key := runner.KeyOf("layout")
+	s.Save(key, runner.Metrics{"v": 1})
+	want := filepath.Join(s.Root(), fmt.Sprintf("v%d", runner.KeySchema), key[:2], key+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at versioned sharded path %s: %v", want, err)
+	}
+}
+
+func TestOpenCreatesRootAndFailsOnFile(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "root")
+	if _, err := Open(dir); err != nil {
+		t.Fatalf("Open on fresh nested dir: %v", err)
+	}
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f); err == nil {
+		t.Fatal("Open over a regular file succeeded")
+	}
+}
+
+// TestDiskStoreBehindRunner is the integration shape the daemon and the
+// warm-cache CI job rely on: a cold process computes and persists, a fresh
+// process over the same root replays the whole sweep with zero recomputes.
+func TestDiskStoreBehindRunner(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(calls *int) []runner.Point {
+		var pts []runner.Point
+		for i := 0; i < 6; i++ {
+			i := i
+			pts = append(pts, runner.Point{
+				ID:  fmt.Sprintf("p%d", i),
+				Key: runner.KeyOf("integration", i),
+				Run: func() runner.Metrics {
+					*calls++
+					return runner.Metrics{"v": float64(i * i)}
+				},
+			})
+		}
+		return pts
+	}
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold int
+	first := runner.NewWithStore(1, s1).Run(mk(&cold))
+	if cold != 6 {
+		t.Fatalf("cold computes = %d", cold)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warm int
+	r := runner.NewWithStore(1, s2)
+	second := r.Run(mk(&warm))
+	if warm != 0 {
+		t.Fatalf("warm process recomputed %d points", warm)
+	}
+	if cs := r.CacheStats(); cs.Computed != 0 || cs.StoreHits != 6 {
+		t.Fatalf("warm stats = %+v", cs)
+	}
+	for i := range first {
+		if !first[i].Equal(second[i]) {
+			t.Fatalf("point %d drifted across processes: %v vs %v", i, first[i], second[i])
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpipart/internal/runner"
+)
+
+// memStore is an in-memory runner.Store for batcher tests.
+type memStore struct {
+	mu    sync.Mutex
+	m     map[string]runner.Metrics
+	loads int32
+	saves int32
+}
+
+func newMemStore() *memStore { return &memStore{m: map[string]runner.Metrics{}} }
+
+func (s *memStore) Load(key string) (runner.Metrics, bool) {
+	atomic.AddInt32(&s.loads, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.m[key]
+	return m, ok
+}
+
+func (s *memStore) Save(key string, m runner.Metrics) {
+	atomic.AddInt32(&s.saves, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = m
+}
+
+// TestBatcherCoalescesConcurrentIdenticalKeys is the exactly-once property:
+// N concurrent Do calls for one key run the computation once, every caller
+// gets the same metrics, and all followers report coalesced. The compute is
+// held open until every follower has launched, so the followers provably
+// arrive while the flight is in progress (no store is attached — a late
+// follower would recompute and trip the count).
+func TestBatcherCoalescesConcurrentIdenticalKeys(t *testing.T) {
+	const followers = 7
+	var computes int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	compute := func() runner.Metrics {
+		atomic.AddInt32(&computes, 1)
+		close(entered)
+		<-release
+		return runner.Metrics{"v": 42}
+	}
+
+	b := NewBatcher(4, nil)
+	key := runner.KeyOf("coalesce")
+	results := make([]Result, followers+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = b.Do(key, compute) }()
+	<-entered
+
+	var started sync.WaitGroup
+	for i := 1; i <= followers; i++ {
+		i := i
+		wg.Add(1)
+		started.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			results[i] = b.Do(key, compute)
+		}()
+	}
+	started.Wait()
+	time.Sleep(250 * time.Millisecond) // let every follower reach the flight
+	close(release)
+	wg.Wait()
+
+	if n := atomic.LoadInt32(&computes); n != 1 {
+		t.Fatalf("computed %d times, want exactly 1", n)
+	}
+	var computed, coalesced int
+	for i, r := range results {
+		if r.Err != nil || r.Metrics["v"] != 42 {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		switch r.Source {
+		case SourceComputed:
+			computed++
+		case SourceCoalesced:
+			coalesced++
+		default:
+			t.Fatalf("result %d has source %q", i, r.Source)
+		}
+		if r.Total <= 0 {
+			t.Fatalf("result %d has no total time", i)
+		}
+	}
+	if computed != 1 || coalesced != followers {
+		t.Fatalf("sources: %d computed / %d coalesced, want 1/%d", computed, coalesced, followers)
+	}
+}
+
+// TestBatcherServesFromStore pins the persistent path: a warm store answers
+// without computing, a cold computation writes back exactly once.
+func TestBatcherServesFromStore(t *testing.T) {
+	st := newMemStore()
+	b := NewBatcher(2, st)
+	key := runner.KeyOf("persist")
+	var computes int32
+	compute := func() runner.Metrics {
+		atomic.AddInt32(&computes, 1)
+		return runner.Metrics{"v": 7}
+	}
+
+	if r := b.Do(key, compute); r.Source != SourceComputed || r.Metrics["v"] != 7 {
+		t.Fatalf("cold result = %+v", r)
+	}
+	if computes != 1 || atomic.LoadInt32(&st.saves) != 1 {
+		t.Fatalf("cold pass: computes=%d saves=%d", computes, st.saves)
+	}
+	r := b.Do(key, compute)
+	if r.Source != SourceStore || r.Metrics["v"] != 7 {
+		t.Fatalf("warm result = %+v", r)
+	}
+	if computes != 1 {
+		t.Fatalf("warm pass recomputed (%d)", computes)
+	}
+	if r.Compute != 0 || r.Queue != 0 {
+		t.Fatalf("store hit charged compute/queue time: %+v", r)
+	}
+}
+
+// TestBatcherBoundsConcurrency holds the pool at one worker and checks two
+// distinct keys never compute simultaneously.
+func TestBatcherBoundsConcurrency(t *testing.T) {
+	b := NewBatcher(1, nil)
+	var active, maxActive int32
+	compute := func() runner.Metrics {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			m := atomic.LoadInt32(&maxActive)
+			if a <= m || atomic.CompareAndSwapInt32(&maxActive, m, a) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		atomic.AddInt32(&active, -1)
+		return runner.Metrics{}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Do(runner.KeyOf("bound", i), compute)
+		}()
+	}
+	wg.Wait()
+	if m := atomic.LoadInt32(&maxActive); m != 1 {
+		t.Fatalf("max concurrent computes = %d, want 1", m)
+	}
+}
+
+// TestBatcherPanicBecomesErrorAndRetries: a panicking compute must not kill
+// the daemon, must report an error to every waiter, must not poison the
+// store, and must be retried by the next request.
+func TestBatcherPanicBecomesErrorAndRetries(t *testing.T) {
+	st := newMemStore()
+	b := NewBatcher(2, st)
+	key := runner.KeyOf("explode")
+	r := b.Do(key, func() runner.Metrics { panic("kaboom") })
+	if r.Err == nil || r.Source != SourceError || r.Metrics != nil {
+		t.Fatalf("panic result = %+v", r)
+	}
+	if !strings.Contains(r.Err.Error(), "kaboom") || !strings.Contains(r.Err.Error(), key) {
+		t.Fatalf("error lacks cause or key: %v", r.Err)
+	}
+	if atomic.LoadInt32(&st.saves) != 0 {
+		t.Fatal("failed computation was stored")
+	}
+	// The failure is not cached: the next request recomputes and succeeds.
+	r2 := b.Do(key, func() runner.Metrics { return runner.Metrics{"v": 1} })
+	if r2.Err != nil || r2.Source != SourceComputed || r2.Metrics["v"] != 1 {
+		t.Fatalf("retry result = %+v", r2)
+	}
+}
+
+// TestBatcherDistinctKeysIndependent: different keys do not coalesce.
+func TestBatcherDistinctKeysIndependent(t *testing.T) {
+	b := NewBatcher(4, nil)
+	var computes int32
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := b.Do(runner.KeyOf("indep", i), func() runner.Metrics {
+				atomic.AddInt32(&computes, 1)
+				return runner.Metrics{"i": float64(i)}
+			})
+			if r.Metrics["i"] != float64(i) {
+				t.Errorf("key %d got %v", i, r.Metrics)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes != 5 {
+		t.Fatalf("computed %d, want 5", computes)
+	}
+}
