@@ -10,9 +10,15 @@
 // thresholded (-wall-factor), never compared exactly.
 //
 // Every run also refreshes a host-performance sidecar (BENCH_PERF.json by
-// default, -perf ” disables): wall time, scheduler dispatches and
-// dispatches/sec. Unlike the golden it is informational — it is how kernel
-// perf work is measured without touching the gated virtual-time metrics.
+// default, -perf ” disables): wall time, scheduler dispatches,
+// dispatches/sec, plus the 100k-actor KernelScale smoke's live-actor count
+// and heap bytes/actor. Unlike the golden it is informational — it is how
+// kernel perf work is measured without touching the gated virtual-time
+// metrics. With -perf-baseline the sidecar grows teeth: the fresh
+// dispatches/sec is compared against the committed baseline and the run
+// fails if it regressed by more than -perf-regress percent (wall-factor
+// style: thresholded, never exact, so machine noise passes and real hot-path
+// regressions don't).
 //
 // Usage:
 //
@@ -23,6 +29,7 @@
 //	benchgate -store sweep-store                  # persistent result cache
 //	benchgate -server http://127.0.0.1:7077       # gate against a sweepd daemon
 //	benchgate -perf BENCH_PERF.json               # host-perf sidecar (default)
+//	benchgate -perf-baseline BENCH_PERF.json      # fail on >25% dispatches/sec regression
 //	benchgate -cpuprofile cpu.pprof -memprofile mem.pprof
 //	benchgate -shuffle-seeds 16                   # schedule-invariance fuzz
 //
@@ -69,6 +76,8 @@ func main() {
 		seq        = flag.Bool("seq", false, "sequential execution (same as -workers 1)")
 		wallFactor = flag.Float64("wall-factor", 10, "fail if host wall time exceeds this multiple of the golden's recorded wall time; 0 disables")
 		perf       = flag.String("perf", "BENCH_PERF.json", "write host-perf stats (wall time, dispatches/sec) to this file; '' disables")
+		perfBase   = flag.String("perf-baseline", "", "compare this run's dispatches/sec against this committed perf sidecar and fail on regression beyond -perf-regress")
+		perfReg    = flag.Float64("perf-regress", 25, "allowed dispatches/sec regression vs -perf-baseline, in percent; 0 disables")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the gate run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile taken after the gate run to this file")
 
@@ -183,6 +192,12 @@ func main() {
 	}
 
 	if *perf != "" {
+		// The 100k-actor KernelScale smoke: how much a fabric-scale world
+		// costs to hold. Runs after the gate measurement window so its
+		// dispatches and wall time don't pollute the throughput figures.
+		sc := bench.MeasureKernelScale(100_000, 2)
+		fmt.Printf("benchgate: kernel scale: %d live actors, %.0f heap bytes/actor\n",
+			sc.LiveActors, sc.BytesPerActor)
 		p := bench.Perf{
 			Schema:           bench.PerfSchema,
 			Description:      "host-side cost of the benchgate run (informational; the golden gates virtual time)",
@@ -192,6 +207,8 @@ func main() {
 			WallMS:           wall.Milliseconds(),
 			Dispatches:       dispatches,
 			DispatchesPerSec: float64(dispatches) / wall.Seconds(),
+			LiveActors:       sc.LiveActors,
+			BytesPerActor:    sc.BytesPerActor,
 		}
 		b, err := bench.EncodePerf(p)
 		if err != nil {
@@ -200,6 +217,31 @@ func main() {
 		if err := os.WriteFile(*perf, b, 0o644); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Host-perf regression gate (wall-factor style: thresholded, never
+	// exact). CI points -perf-baseline at the committed sidecar so a
+	// scheduler regression beyond the noise band fails the job while the
+	// fresh sidecar is still uploaded as an informational artifact.
+	if *perfBase != "" && *perfReg > 0 && *server == "" {
+		raw, err := os.ReadFile(*perfBase)
+		if err != nil {
+			fatal(fmt.Errorf("reading perf baseline: %w", err))
+		}
+		base, err := bench.DecodePerf(raw)
+		if err != nil {
+			fatal(err)
+		}
+		fresh := float64(dispatches) / wall.Seconds()
+		floor := base.DispatchesPerSec * (1 - *perfReg/100)
+		if base.DispatchesPerSec > 0 && fresh < floor {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: dispatches/sec %.0f is below %.0f (baseline %.0f from %s, -perf-regress %.0f%%) — scheduler hot path regressed\n",
+				fresh, floor, base.DispatchesPerSec, *perfBase, *perfReg)
+			os.Exit(1)
+		}
+		fmt.Printf("benchgate: dispatches/sec %.0f vs baseline %.0f (floor %.0f) — ok\n",
+			fresh, base.DispatchesPerSec, floor)
 	}
 
 	if *shuffleSeeds > 0 {

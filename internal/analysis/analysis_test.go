@@ -407,13 +407,96 @@ func NewProc(name string) *Proc { return &Proc{name: "proc:" + name} }
 `,
 		},
 		{
+			// Designation is per package: Kernel.ready is hot in
+			// internal/sim, but internal/gpu's designated set holds only the
+			// stream serve-machine steps, so the same name formats freely
+			// here.
 			name:     "hotpathalloc_outside_sim_ok",
 			analyzer: "hotpathalloc",
-			pkgPath:  "mpipart/internal/gpu", // rule is scoped to internal/sim
+			pkgPath:  "mpipart/internal/gpu",
 			src: `package gpu
 import "fmt"
 type Kernel struct{ name string }
 func (k *Kernel) ready(name string) { _ = fmt.Sprintf("%s", name) }
+`,
+		},
+		{
+			// The Task continuation core is designated: dispatch trampoline,
+			// arming primitives, run-queue edges. Each allocation source kind
+			// fires; the panic escape stays cold.
+			name:     "hotpathalloc_task_bad",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/sim",
+			src: `package sim
+import "fmt"
+type Task struct{ name string }
+type Kernel struct{ trace []string }
+func (t *Task) Then(fn func()) {
+	t.name = "step:" + t.name
+}
+func (k *Kernel) runTask(t *Task) {
+	k.trace = append(k.trace, fmt.Sprintf("run %s", t.name))
+	cleanup := func() {}
+	cleanup()
+}
+func (k *Kernel) readyTask(t *Task) {
+	if t == nil {
+		panic("sim: readying nil task " + "?") // cold: panic may format
+	}
+}
+`,
+			want: []string{
+				"string concatenation in scheduler hot path Task.Then",
+				"fmt.Sprintf call in scheduler hot path Kernel.runTask",
+				"closure literal in scheduler hot path Kernel.runTask",
+			},
+		},
+		{
+			// The converted GPU stream serve machine is designated in
+			// internal/gpu: a formatting regression in a wave step fires,
+			// while the once-per-kernel finish step (tracer formatting) is
+			// deliberately outside the hot set and stays silent.
+			name:     "hotpathalloc_stream_mixed",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/gpu",
+			src: `package gpu
+import "fmt"
+type Task struct{}
+type Stream struct{ last string }
+func (s *Stream) stepWave(t *Task) {
+	s.last = fmt.Sprintf("wave@%p", t)
+}
+func (s *Stream) finishKernel(t *Task) {
+	s.last = fmt.Sprintf("done@%p", t)
+}
+`,
+			want: []string{
+				"fmt.Sprintf call in scheduler hot path Stream.stepWave",
+			},
+		},
+		{
+			// The converted progression-engine steps are designated in
+			// internal/mpi and must stay allocation-free; clean steps are
+			// silent.
+			name:     "hotpathalloc_engine_ok",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/mpi",
+			src: `package mpi
+import "fmt"
+type Task struct{}
+type Engine struct {
+	did   bool
+	items []int
+	oi    int
+}
+func (e *Engine) finishItem(didWork, stillActive bool) {
+	e.did = e.did || didWork
+	if stillActive {
+		e.items = append(e.items, e.oi)
+	}
+	e.oi++
+}
+func (e *Engine) describe() string { return fmt.Sprintf("%d items", len(e.items)) }
 `,
 		},
 	}

@@ -19,38 +19,92 @@ import (
 // diagnostics (blockReason.String, describeBlocked) and constructors are
 // simply not in the hot set.
 
-// hotPathFuncs designates the scheduler-path functions, keyed
-// "Receiver.Method" (receiver type name without pointer/type-parameters) or
-// bare name for plain functions. Kernel.Run and Kernel.Go are deliberately
-// absent: Run is the once-per-simulation entry whose loop delegates to
-// resume/dispatch, and Go is the spawn path, which allocates by design.
-var hotPathFuncs = map[string]bool{
-	"Kernel.At": true, "Kernel.After": true, "Kernel.nextSeq": true,
-	"Kernel.ready": true, "Kernel.resume": true, "Kernel.dispatch": true,
-	"Kernel.reap": true,
-	"Proc.Wait":   true, "Proc.WaitUntil": true, "Proc.Yield": true,
-	"Proc.block": true,
-	"Cond.Wait":  true, "Cond.WaitFor": true, "Cond.Signal": true,
-	"Cond.Broadcast": true, "Cond.Waiters": true,
-	"Gate.Wait": true, "Gate.Open": true,
-	"Counter.Add": true, "Counter.Set": true, "Counter.WaitAtLeast": true,
-	"Queue.Push": true, "Queue.Pop": true, "Queue.TryPop": true,
-	"Pipe.Transfer": true, "Pipe.TransferThen": true, "Pipe.serialize": true,
-	"eventHeap.push": true, "eventHeap.pop": true,
-	"ring.push": true, "ring.pop": true,
+// hotPathFuncs designates the scheduler-path functions per package
+// (keyed by import-path suffix), each set keyed "Receiver.Method" (receiver
+// type name without pointer/type-parameters) or bare name for plain
+// functions.
+//
+// internal/sim: Kernel.Run and Kernel.Go are deliberately absent — Run is
+// the once-per-simulation entry whose loop delegates to resume/dispatch,
+// and Go (like spawnTask) is a spawn path, which allocates by design. The
+// Task continuation core is in: runTask/stepTask are the dispatch
+// trampoline, Then/Sleep/SleepUntil/park/CallProc arm every suspension, and
+// readyTask/readyActor/reapTask are the run-queue edges.
+//
+// The converted leaf-actor packages designate their steady-state machine
+// steps. Deliberate exemptions, checked at the call edge rather than
+// silenced: Engine.stepItems and Engine.runItemOnBridge fan out through the
+// Progressor interface to legacy implementations that may format
+// diagnostics; Stream.finishKernel and Stream.stepFusedDone build trace
+// spans (fmt under a tracer guard); SendRequest.stepScan and the
+// pready/completion issue steps call sanitizer guards (eager fmt.Sprintf on
+// violations) and the ucx put layer, whose delivery callbacks are closures
+// by design.
+var hotPathFuncs = map[string]map[string]bool{
+	"internal/sim": {
+		"Kernel.At": true, "Kernel.After": true, "Kernel.nextSeq": true,
+		"Kernel.ready": true, "Kernel.resume": true, "Kernel.dispatch": true,
+		"Kernel.reap": true, "Kernel.handoff": true,
+		"Kernel.runTask": true, "Kernel.stepTask": true,
+		"Kernel.readyTask": true, "Kernel.readyActor": true,
+		"Kernel.reapTask": true,
+		"Proc.Wait":       true, "Proc.WaitUntil": true, "Proc.Yield": true,
+		"Proc.block": true,
+		"Task.Then":  true, "Task.Sleep": true, "Task.SleepUntil": true,
+		"Task.park": true, "Task.CallProc": true,
+		"Cond.Wait": true, "Cond.WaitFor": true, "Cond.Signal": true,
+		"Cond.Broadcast": true, "Cond.Waiters": true, "Cond.Await": true,
+		"Gate.Wait": true, "Gate.Open": true, "Gate.Await": true,
+		"Counter.Add": true, "Counter.Set": true, "Counter.WaitAtLeast": true,
+		"Counter.AwaitAtLeast": true,
+		"Queue.Push":           true, "Queue.Pop": true, "Queue.TryPop": true,
+		"Queue.PopAwait": true,
+		"Pipe.Transfer":  true, "Pipe.TransferThen": true, "Pipe.serialize": true,
+		"eventHeap.push": true, "eventHeap.pop": true,
+		"ring.push": true, "ring.pop": true,
+	},
+	"internal/mpi": {
+		"Engine.stepPass": true, "Engine.stepBridged": true,
+		"Engine.finishItem": true, "Engine.stepWorkerDone": true,
+		"Engine.stepIdleWake": true,
+	},
+	"internal/gpu": {
+		"Stream.stepServe": true, "Stream.stepWave": true,
+		"Stream.stepWaveBody": true,
+	},
+	"internal/ucx": {
+		"Worker.stepDrain": true, "Worker.stepRunCb": true,
+		"Worker.ProgressTask": true,
+	},
+	"internal/core": {
+		"SendRequest.nextPart": true,
+	},
+}
+
+// hotSetFor returns the designated set for a package import path, or nil if
+// the package has no hot-path designations.
+func hotSetFor(pkgPath string) map[string]bool {
+	for sfx, set := range hotPathFuncs {
+		if strings.HasSuffix(pkgPath, sfx) {
+			return set
+		}
+	}
+	return nil
 }
 
 // HotPathAllocAnalyzer forbids per-call allocation sources — fmt calls,
-// string concatenation, closure literals — in the internal/sim scheduler
-// hot-path functions, including ones reached through helper calls: a hot
-// function calling a helper whose summary carries the Allocates effect is
-// reported at the call site with the chain down to the allocating construct.
+// string concatenation, closure literals — in the scheduler hot-path
+// functions (the sim dispatch/continuation core and the converted
+// leaf-actor machine steps), including ones reached through helper calls: a
+// hot function calling a helper whose summary carries the Allocates effect
+// is reported at the call site with the chain down to the allocating
+// construct.
 var HotPathAllocAnalyzer = &Analyzer{
 	Name:      "hotpathalloc",
-	Doc:       "forbid fmt calls, string concatenation and closures (transitively) in internal/sim scheduler hot-path functions",
+	Doc:       "forbid fmt calls, string concatenation and closures (transitively) in scheduler hot-path functions",
 	SkipTests: true,
 	Match: func(pkgPath string) bool {
-		return strings.HasSuffix(pkgPath, "internal/sim")
+		return hotSetFor(pkgPath) != nil
 	},
 	Run: runHotPathAlloc,
 }
@@ -79,6 +133,10 @@ func hotFuncKey(fd *ast.FuncDecl) string {
 }
 
 func runHotPathAlloc(pass *Pass) {
+	set := hotSetFor(pass.Pkg.Path)
+	if set == nil {
+		return
+	}
 	for _, f := range pass.Files() {
 		fmtName, hasFmt := importName(f.Ast, "fmt")
 		for _, decl := range f.Ast.Decls {
@@ -87,7 +145,7 @@ func runHotPathAlloc(pass *Pass) {
 				continue
 			}
 			key := hotFuncKey(fd)
-			if !hotPathFuncs[key] {
+			if !set[key] {
 				continue
 			}
 			checkHotBody(pass, fd, key, fmtName, hasFmt)
@@ -99,8 +157,10 @@ func runHotPathAlloc(pass *Pass) {
 // checkHotCallees reports hot-path calls of helpers whose effect summary
 // carries Allocates — allocation sources the syntactic check cannot see
 // because they live in a callee (or a callee's callee). Calls to other
-// designated hot-path functions are skipped: those are checked at their own
-// declaration, so reporting the edge would double-count.
+// designated hot-path functions — in any covered package, so the converted
+// leaf-actor steps calling the sim continuation core cross-package are
+// included — are skipped: those are checked at their own declaration, so
+// reporting the edge would double-count.
 func checkHotCallees(pass *Pass, fd *ast.FuncDecl, key string) {
 	prog := pass.Prog
 	if prog == nil {
@@ -118,7 +178,7 @@ func checkHotCallees(pass *Pass, fd *ast.FuncDecl, key string) {
 			if callee.Lit != nil {
 				continue // the literal itself is already reported
 			}
-			if callee.PkgPath == node.PkgPath && hotPathFuncs[calleeKey(callee.RecvName, callee.Name)] {
+			if s := hotSetFor(callee.PkgPath); s != nil && s[calleeKey(callee.RecvName, callee.Name)] {
 				continue
 			}
 			if !prog.Summary(callee).Effects.Has(EffAllocates) {

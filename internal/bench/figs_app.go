@@ -20,6 +20,7 @@ const JacobiIters = 4
 func MeasureJacobi(topo cluster.Topology, cfg jacobi.Config,
 	variant func(r *mpi.Rank, cfg jacobi.Config) jacobi.Stats) jacobi.Stats {
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	var out jacobi.Stats
 	w.Spawn(func(r *mpi.Rank) {
 		st := variant(r, cfg)
@@ -116,6 +117,7 @@ const DLSteps = 3
 func MeasureDL(topo cluster.Topology, cfg dl.Config,
 	variant func(r *mpi.Rank, comm *nccl.Comm, cfg dl.Config) dl.Stats) dl.Stats {
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	comm := nccl.NewComm(w)
 	var out dl.Stats
 	w.Spawn(func(r *mpi.Rank) {

@@ -56,6 +56,7 @@ func NCCLAllreducePoint(id string, cfg AllreduceConfig) runner.Point {
 func MeasureMPIAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	n := cfg.Grid * 1024
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -84,6 +85,7 @@ func MeasureMPIAllreduce(cfg AllreduceConfig) sim.Duration {
 func MeasurePartitionedAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	n := cfg.Grid * 1024
 	up := cfg.UserParts
 	if up <= 0 {
@@ -136,6 +138,7 @@ func MeasurePartitionedAllreduce(cfg AllreduceConfig) sim.Duration {
 func MeasureNCCLAllreduce(cfg AllreduceConfig) sim.Duration {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	comm := nccl.NewComm(w)
 	n := cfg.Grid * 1024
 	w.Spawn(func(r *mpi.Rank) {
@@ -224,6 +227,7 @@ func Fig7(maxGrid int) *Table { return RunJob(defaultRunner, Fig7Job(maxGrid)) }
 // overheads.
 func tableIMeasure(model cluster.Model) (initSend, initColl, prequest, prepFirst, prepAvg sim.Duration) {
 	w := mpi.NewWorld(cluster.OneNodeGH200(), model, 1)
+	defer w.Free()
 	const epochs = 100
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()

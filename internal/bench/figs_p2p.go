@@ -20,6 +20,7 @@ func vecAddSpec(grid int) gpu.KernelSpec {
 // synchronize at one grid size on a single-GPU world.
 func fig2Measure(m cluster.Model, g int) (syncCost, total sim.Duration) {
 	w := mpi.NewWorld(cluster.Topology{Nodes: 1, GPUsPerNode: 1}, m, 1)
+	defer w.Free()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
 		t0 := p.Now()
@@ -151,6 +152,7 @@ func fig3Measure(model cluster.Model, level string, threads int) sim.Duration {
 	}
 	var cost sim.Duration
 	w := mpi.NewWorld(cluster.OneNodeGH200(), model, 1)
+	defer w.Free()
 	m := w.Model
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -239,6 +241,7 @@ func PartitionedPoint(id string, cfg P2PConfig, mech core.Mechanism) runner.Poin
 func MeasureTraditional(cfg P2PConfig) sim.Duration {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	n := cfg.Grid * 1024
 	const iters = 3
 	w.Spawn(func(r *mpi.Rank) {
@@ -279,6 +282,7 @@ func MeasureTraditional(cfg P2PConfig) sim.Duration {
 func MeasurePartitioned(cfg P2PConfig, mech core.Mechanism) sim.Duration {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	n := cfg.Grid * 1024
 	parts := cfg.Parts
 	if parts <= 0 {

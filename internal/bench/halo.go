@@ -91,6 +91,7 @@ func MeasureHaloTraditional(cfg HaloConfig) sim.Duration {
 	cfg = cfg.withDefaults()
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	P := w.Size()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
@@ -142,6 +143,7 @@ func MeasureHaloPartitioned(cfg HaloConfig) sim.Duration {
 	cfg = cfg.withDefaults()
 	var elapsed sim.Duration
 	w := mpi.NewWorld(cfg.Topo, cfg.model(), 1)
+	defer w.Free()
 	P := w.Size()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()

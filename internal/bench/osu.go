@@ -20,6 +20,7 @@ import (
 func Pingpong(topo cluster.Topology, peer, n, iters int) sim.Duration {
 	var total sim.Duration
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
 		buf := r.Dev.Alloc(n)
@@ -53,6 +54,7 @@ func Pingpong(topo cluster.Topology, peer, n, iters int) sim.Duration {
 func Bandwidth(topo cluster.Topology, peer, n, window, iters int) float64 {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
 		bufs := make([][]float64, window)
@@ -103,6 +105,7 @@ func Bandwidth(topo cluster.Topology, peer, n, window, iters int) float64 {
 func BiBandwidth(topo cluster.Topology, peer, n, window, iters int) float64 {
 	var elapsed sim.Duration
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	run := func(r *mpi.Rank, other int) {
 		p := r.Proc()
 		sbufs := make([][]float64, window)
@@ -157,6 +160,7 @@ func BiBandwidth(topo cluster.Topology, peer, n, window, iters int) float64 {
 func PartitionedLatency(topo cluster.Topology, peer, n, parts, iters int) sim.Duration {
 	var total sim.Duration
 	w := mpi.NewWorld(topo, cluster.DefaultModel(), 1)
+	defer w.Free()
 	w.Spawn(func(r *mpi.Rank) {
 		p := r.Proc()
 		buf := r.Dev.Alloc(n)

@@ -31,6 +31,16 @@ type Perf struct {
 	// DispatchesPerSec is Dispatches divided by the wall time — the
 	// events/sec figure the kernel microbenchmarks optimize for.
 	DispatchesPerSec float64 `json:"dispatches_per_sec"`
+	// LiveActors is the actor count the KernelScale smoke world held
+	// (MeasureKernelScale): mixed Task/Proc waiters parked on one Cond.
+	// Its dispatches and wall time are measured separately and do NOT
+	// contribute to the fields above.
+	LiveActors int `json:"live_actors"`
+	// BytesPerActor is the heap cost of holding one actor in the
+	// KernelScale world — the number the continuation (Task) design
+	// exists to shrink: a parked Task is a struct on the event heap, not
+	// an ~8 KB goroutine stack.
+	BytesPerActor float64 `json:"bytes_per_actor"`
 }
 
 // EncodePerf renders a Perf as stable, human-diffable JSON.

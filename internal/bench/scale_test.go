@@ -1,0 +1,27 @@
+package bench
+
+import "testing"
+
+// TestMeasureKernelScale smoke-tests the sidecar-reporting scale measurement
+// at a size small enough for the unit-test budget: the world must hold
+// exactly the requested actor count, cost a plausible (nonzero, sub-8KB)
+// heap footprint per actor, and consume at least one dispatch per actor per
+// broadcast round.
+func TestMeasureKernelScale(t *testing.T) {
+	const actors, rounds = 2_000, 2
+	st := MeasureKernelScale(actors, rounds)
+	if st.Actors != actors {
+		t.Fatalf("Actors = %d, want %d", st.Actors, actors)
+	}
+	if st.LiveActors != actors {
+		t.Fatalf("LiveActors = %d, want %d", st.LiveActors, actors)
+	}
+	if st.BytesPerActor <= 0 || st.BytesPerActor > 8192 {
+		t.Fatalf("BytesPerActor = %.0f, want in (0, 8192]", st.BytesPerActor)
+	}
+	// Spawn+park is one dispatch per actor, then each round re-dispatches
+	// every waiter.
+	if min := int64(actors * (rounds + 1)); st.Dispatches < min {
+		t.Fatalf("Dispatches = %d, want at least %d", st.Dispatches, min)
+	}
+}

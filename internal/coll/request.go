@@ -29,6 +29,12 @@ type Request struct {
 	// in-place collectives and is distinct for all-to-all.
 	recvBuf     []float64
 	recvUpViews [][]float64
+	// chunkTab/chunkTabIn are the [u][ch] chunk views of the send and
+	// receive buffers, precomputed at init: Progress resolves a view per
+	// arrival, and rebuilding the partition table each call allocated in the
+	// progression hot path.
+	chunkTab   [][][]float64
+	chunkTabIn [][][]float64
 
 	sends map[int]*core.SendRequest
 	recvs map[int]*core.RecvRequest
@@ -166,6 +172,12 @@ func InitWithScheduleBuffers(p *sim.Proc, r *mpi.Rank, sendBuf, recvBuf []float6
 	}
 	c.upViews = core.EqualPartitions(sendBuf, userParts)
 	c.recvUpViews = core.EqualPartitions(recvBuf, userParts)
+	c.chunkTab = make([][][]float64, userParts)
+	c.chunkTabIn = make([][][]float64, userParts)
+	for u := 0; u < userParts; u++ {
+		c.chunkTab[u] = core.EqualPartitions(c.upViews[u], sched.Chunks)
+		c.chunkTabIn[u] = core.EqualPartitions(c.recvUpViews[u], sched.Chunks)
+	}
 	c.userPending = gpu.NewFlagsShared(fmt.Sprintf("collready@%d", r.ID), userParts, r.Worker.Cond())
 
 	// During initialization we know message size, communicator size, and
@@ -253,13 +265,13 @@ func nextCollSeq(r *mpi.Rank) int {
 // chunkView returns the send-buffer view of chunk ch of user partition u,
 // using the same nearly-equal splitting at both levels on every rank.
 func (c *Request) chunkView(u, ch int) []float64 {
-	return core.EqualPartitions(c.upViews[u], c.Sched.Chunks)[ch]
+	return c.chunkTab[u][ch]
 }
 
 // chunkViewIn is chunkView over the receive buffer (identical for in-place
 // collectives).
 func (c *Request) chunkViewIn(u, ch int) []float64 {
-	return core.EqualPartitions(c.recvUpViews[u], c.Sched.Chunks)[ch]
+	return c.chunkTabIn[u][ch]
 }
 
 // UserPartitions returns the user partition count.
@@ -471,11 +483,18 @@ func (c *Request) reduceData(p *sim.Proc, up int, eu EdgeUse) {
 		Name: "preduce", Grid: grid, Block: block,
 		WaveTime: c.R.W.Model.ScaledWaveTime(1),
 		Body: func(b *gpu.BlockCtx) {
-			b.ForEachThread(func(i int) {
-				if i < n {
-					op.Apply(dst[i:i+1], src[i:i+1])
-				}
-			})
+			// Each thread owns one element, so the block's work is one
+			// contiguous range: apply the op over it in bulk instead of one
+			// two-element slice call per thread (elementwise ops make the
+			// result identical, and this loop dominated untraced runs).
+			lo := b.ThreadBase()
+			hi := lo + b.Dim
+			if hi > n {
+				hi = n
+			}
+			if lo < hi {
+				op.Apply(dst[lo:hi], src[lo:hi])
+			}
 		},
 	})
 	c.stream.Synchronize(p)

@@ -39,6 +39,25 @@ type SendRequest struct {
 
 	// freed marks a released request.
 	freed bool
+
+	// Continuation-scan state (ProgressTask): the partition cursor, the
+	// progress accumulator, the engine's continuation, and per-put captures
+	// of the endpoint/rkey/epoch (taken before the issue-cost sleeps, as the
+	// blocking Pready captures them before its waits). The step funcs and
+	// the inflight-decrement completion callback are bound once at init so
+	// steady-state progression allocates nothing.
+	tPart  int
+	tDid   bool
+	tDone  func(didWork, stillActive bool)
+	tEp    *ucx.Endpoint
+	tRk    ucx.Rkey
+	tEpoch int
+
+	fnScan     sim.TaskFn
+	fnDataDone sim.TaskFn
+	fnFlagDone sim.TaskFn
+	fnComplete sim.TaskFn
+	fnCbDone   func(p *sim.Proc)
 }
 
 // PsendInit initializes the send side of a partitioned channel with equal
@@ -73,6 +92,11 @@ func PsendInitParts(p *sim.Proc, r *mpi.Rank, dest, tag int, parts [][]float64) 
 		parts:  parts,
 		issued: make([]bool, len(parts)),
 	}
+	req.fnScan = req.stepScan
+	req.fnDataDone = req.stepDataIssued
+	req.fnFlagDone = req.stepFlagIssued
+	req.fnComplete = req.stepCompletionFlag
+	req.fnCbDone = func(*sim.Proc) { req.inflight-- }
 	r.Worker.AMSend(ucx.WorkerAddr(dest), amSetup, setupMsg{
 		Key:      key,
 		NParts:   len(parts),
@@ -216,9 +240,7 @@ func (s *SendRequest) Pready(p *sim.Proc, part int) {
 	// fine-grained arrival semantics MPI_Parrived exists for — the signal
 	// trails only its own partition's data, not every later partition's.
 	ep.PutPartition(p, rk, part, s.parts[part], nil)
-	ep.PutFlag(p, rk, part, int64(epoch), func(*sim.Proc) {
-		s.inflight--
-	})
+	ep.PutFlag(p, rk, part, int64(epoch), s.fnCbDone)
 }
 
 // completionOnly raises the receive-side arrival flag without moving data;
@@ -232,9 +254,7 @@ func (s *SendRequest) completionOnly(p *sim.Proc, part int) {
 	}
 	s.markIssued(part)
 	s.inflight++
-	s.ep.PutFlag(p, s.rkey, part, int64(s.epoch), func(*sim.Proc) {
-		s.inflight--
-	})
+	s.ep.PutFlag(p, s.rkey, part, int64(s.epoch), s.fnCbDone)
 }
 
 func (s *SendRequest) markIssued(part int) {
@@ -267,6 +287,136 @@ func (s *SendRequest) Progress(p *sim.Proc) (didWork, stillActive bool) {
 		}
 	}
 	return didWork, s.active
+}
+
+// ProgressTask implements mpi.TaskProgressor: the continuation form of
+// Progress, driven natively on the engine's Task. The partition cursor and
+// put sequencing replicate the blocking path operation-for-operation
+// (guards, markIssued before the issue-cost waits, data put then chained
+// flag put), so virtual time is bit-identical; the host saves the goroutine
+// handoffs the engine proc paid per issue-cost wait.
+func (s *SendRequest) ProgressTask(t *sim.Task, done func(didWork, stillActive bool)) {
+	s.tDone = done
+	s.tDid = false
+	s.tPart = 0
+	s.stepScan(t)
+}
+
+// stepScan walks the partition pending flags from the cursor, issuing the
+// next ready partition's puts or finishing the scan.
+func (s *SendRequest) stepScan(t *sim.Task) {
+	if !s.started {
+		s.tDone(false, s.active)
+		return
+	}
+	if q := s.preq; q != nil {
+		for s.tPart < len(s.parts) {
+			part := s.tPart
+			if s.issued[part] {
+				s.tPart++
+				continue
+			}
+			switch q.pending.Get(part) {
+			case readyData:
+				s.tDid = true
+				s.preadyTask(t, part)
+				return
+			case readyCompleted:
+				s.tDid = true
+				s.completionOnlyTask(t, part)
+				return
+			}
+			s.tPart++
+		}
+	}
+	s.tDone(s.tDid, s.active)
+}
+
+// nextPart advances the cursor past the current partition and resumes the
+// scan in the same dispatch.
+func (s *SendRequest) nextPart(t *sim.Task) {
+	s.tPart++
+	t.Then(s.fnScan)
+}
+
+// preadyTask is Pready in continuation form: same sanitizer guards, then
+// markIssued and the data-put/flag-put sequence with the issue costs taken
+// as Task sleeps instead of proc waits.
+func (s *SendRequest) preadyTask(t *sim.Task, part int) {
+	if s.checkUsable("Pready") {
+		s.nextPart(t)
+		return
+	}
+	if !s.started {
+		if s.violate("pready-before-start", "Pready before Start") {
+			s.nextPart(t)
+			return
+		}
+	}
+	if !s.prepared {
+		if s.violate("pready-before-pbufprepare", "Pready before PbufPrepare") {
+			s.nextPart(t)
+			return
+		}
+	}
+	if part < 0 || part >= len(s.parts) {
+		if s.violate("pready-range", fmt.Sprintf("Pready partition %d out of %d", part, len(s.parts))) {
+			s.nextPart(t)
+			return
+		}
+	}
+	if s.issued[part] {
+		if s.violate("double-pready", fmt.Sprintf("duplicate Pready of partition %d", part)) {
+			s.nextPart(t)
+			return
+		}
+	}
+	s.markIssued(part)
+	s.inflight++
+	s.tEp, s.tRk, s.tEpoch = s.ep, s.rkey, s.epoch
+	s.tEp.PutPartitionValidate(s.tRk, part, s.parts[part])
+	t.Then(s.fnDataDone)
+	t.Sleep(s.R.W.Model.PutDataIssueCost)
+}
+
+// stepDataIssued commits the data put after its issue cost and charges the
+// chained flag put's issue cost.
+func (s *SendRequest) stepDataIssued(t *sim.Task) {
+	part := s.tPart
+	s.tEp.PutPartitionCommit(s.tRk, part, s.parts[part], nil)
+	s.tEp.PutFlagValidate(s.tRk)
+	t.Then(s.fnFlagDone)
+	t.Sleep(s.R.W.Model.PutIssueCost)
+}
+
+// stepFlagIssued commits the chained arrival-flag put and resumes the scan.
+func (s *SendRequest) stepFlagIssued(t *sim.Task) {
+	s.tEp.PutFlagCommit(s.tRk, s.tPart, int64(s.tEpoch), s.fnCbDone)
+	s.nextPart(t)
+}
+
+// completionOnlyTask is completionOnly in continuation form (flag only, no
+// data movement — the Kernel Copy path).
+func (s *SendRequest) completionOnlyTask(t *sim.Task, part int) {
+	if s.issued[part] {
+		if s.violate("double-pready", fmt.Sprintf("duplicate completion of partition %d", part)) {
+			s.nextPart(t)
+			return
+		}
+	}
+	s.markIssued(part)
+	s.inflight++
+	s.tEp, s.tRk, s.tEpoch = s.ep, s.rkey, s.epoch
+	s.tEp.PutFlagValidate(s.tRk)
+	t.Then(s.fnComplete)
+	t.Sleep(s.R.W.Model.PutIssueCost)
+}
+
+// stepCompletionFlag commits the completion-only flag put and resumes the
+// scan.
+func (s *SendRequest) stepCompletionFlag(t *sim.Task) {
+	s.tEp.PutFlagCommit(s.tRk, s.tPart, int64(s.tEpoch), s.fnCbDone)
+	s.nextPart(t)
 }
 
 // done reports whether the epoch's transfers are fully flushed.

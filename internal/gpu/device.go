@@ -16,11 +16,29 @@ package gpu
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
 	"mpipart/internal/cluster"
 	"mpipart/internal/fabric"
 	"mpipart/internal/sim"
 )
+
+// slabPool recycles device allocations across simulated worlds. A fresh
+// make() of a multi-megabyte buffer pays a soft page fault on first touch
+// of every page — roughly 3x the cost of reusing warm memory and clearing
+// it explicitly — and the benchmark harness builds and discards dozens of
+// worlds, each re-faulting the same working set. Recycling is strictly
+// opt-in via Device.Release: memory returns to the pool only when the
+// owner declares the world's buffers dead, so code that never calls
+// Release (tests that read buffers after Kernel.Run) keeps today's
+// fresh-allocation semantics.
+var slabPool struct {
+	sync.Mutex
+	bySize map[int][][]float64
+}
+
+var slabPoolOff = os.Getenv("MPIPART_NO_SLAB_POOL") != ""
 
 // Device is one simulated Hopper GPU (the accelerator half of a GH200
 // superchip).
@@ -34,6 +52,10 @@ type Device struct {
 	F *fabric.Fabric
 
 	streams []*Stream
+
+	// allocs tracks every buffer handed out by Alloc so Release can
+	// recycle them.
+	allocs [][]float64
 
 	// smBusyUntil serializes kernel waves across all of the device's
 	// streams: the workloads here launch full-occupancy kernels, so two
@@ -59,10 +81,49 @@ func NewDevice(k *sim.Kernel, m *cluster.Model, f *fabric.Fabric, id int) *Devic
 	return &Device{ID: id, Node: f.Topo.NodeOf(id), K: k, M: m, F: f}
 }
 
-// Alloc allocates device global memory of n float64 elements. Allocation
-// time is not modeled (cudaMalloc happens at setup, outside every timed
-// region in the paper).
-func (d *Device) Alloc(n int) []float64 { return make([]float64, n) }
+// Alloc allocates device global memory of n float64 elements, zeroed like
+// make(). Allocation time is not modeled (cudaMalloc happens at setup,
+// outside every timed region in the paper). Buffers come from the global
+// recycling pool when an exact-size slab is available; the explicit clear
+// below restores make() semantics bit for bit.
+func (d *Device) Alloc(n int) []float64 {
+	var buf []float64
+	slabPool.Lock()
+	if slabs := slabPool.bySize[n]; len(slabs) > 0 {
+		buf = slabs[len(slabs)-1]
+		slabPool.bySize[n] = slabs[:len(slabs)-1]
+	}
+	slabPool.Unlock()
+	if buf == nil {
+		buf = make([]float64, n)
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	d.allocs = append(d.allocs, buf)
+	return buf
+}
+
+// Release returns every buffer this device ever Alloc'd to the global
+// recycling pool. Call it only when the world is finished AND no caller
+// retains a reference to any device buffer (the bench harness does, after
+// extracting scalar metrics); after Release the buffers' contents are
+// undefined.
+func (d *Device) Release() {
+	if len(d.allocs) == 0 || slabPoolOff {
+		return
+	}
+	slabPool.Lock()
+	if slabPool.bySize == nil {
+		slabPool.bySize = make(map[int][][]float64)
+	}
+	for _, buf := range d.allocs {
+		slabPool.bySize[len(buf)] = append(slabPool.bySize[len(buf)], buf)
+	}
+	slabPool.Unlock()
+	d.allocs = nil
+}
 
 // MemcpyH2D performs a blocking host→device copy of the given byte size,
 // charging the C2C bulk path plus the fixed driver overhead.

@@ -2,15 +2,23 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 
 	"mpipart/internal/sim"
 )
 
-// Stream is a CUDA-like in-order execution queue. A daemon process services
-// the FIFO: each kernel launch waits the launch latency, then executes wave
-// by wave under the occupancy model. Host code enqueues with Launch (cheap,
-// asynchronous) and joins with Synchronize, which charges the paper's
-// 7.8 µs cudaStreamSynchronize cost.
+// Stream is a CUDA-like in-order execution queue. A continuation Task
+// services the FIFO: each kernel launch waits the launch latency, then
+// executes wave by wave under the occupancy model. Host code enqueues with
+// Launch (cheap, asynchronous) and joins with Synchronize, which charges the
+// paper's 7.8 µs cudaStreamSynchronize cost.
+//
+// The serve loop used to be a goroutine daemon; it is now a state machine on
+// the event heap (sim.Task), so a world with thousands of streams holds no
+// stream goroutines and pays no channel handoffs per dispatch. Fused ops
+// (NCCL collectives) still run imperative blocking code; they execute on the
+// Task's bridge proc via CallProc, which preserves the exact virtual-time
+// schedule of the goroutine version.
 type Stream struct {
 	dev   *Device
 	name  string
@@ -19,7 +27,25 @@ type Stream struct {
 	q         *sim.Queue[*streamOp]
 	completed *sim.Counter
 	enqueued  int
-	proc      *sim.Proc
+	task      *sim.Task
+
+	// Serve-machine state: the op in flight and its wave cursor.
+	cur     *streamOp
+	winit   bool         // kernel: wave parameters initialized
+	kstart  sim.Time     // kernel: time waves started (span start)
+	wave    sim.Duration // kernel: per-wave compute time
+	bpw     int          // kernel: blocks per wave
+	wstart  int          // kernel: first block of the next wave
+	fusedT0 sim.Time     // fused: span start, recorded on the bridge
+
+	// Continuation steps, bound once at construction so the steady state
+	// never allocates method-value closures.
+	fnServe     sim.TaskFn
+	fnWave      sim.TaskFn
+	fnWaveBody  sim.TaskFn
+	fnFinish    sim.TaskFn
+	fnFusedDone sim.TaskFn
+	fnFusedBody func(p *sim.Proc)
 }
 
 type streamOp struct {
@@ -29,16 +55,26 @@ type streamOp struct {
 	done *sim.Gate
 }
 
-// NewStream creates a stream on the device and starts its service daemon.
+// NewStream creates a stream on the device and starts its service Task. The
+// diagnostic names are assembled once from a shared suffix instead of four
+// fmt.Sprintf calls — spawning many streams stays cheap.
 func (d *Device) NewStream(name string) *Stream {
+	sfx := name + "@gpu" + strconv.Itoa(d.ID)
+	sname := "stream:" + sfx
 	s := &Stream{
 		dev:       d,
 		name:      name,
-		track:     fmt.Sprintf("gpu%d/%s", d.ID, name),
-		q:         sim.NewQueue[*streamOp](d.K, fmt.Sprintf("stream:%s@gpu%d", name, d.ID)),
-		completed: sim.NewCounter(d.K, fmt.Sprintf("stream-done:%s@gpu%d", name, d.ID)),
+		track:     "gpu" + strconv.Itoa(d.ID) + "/" + name,
+		q:         sim.NewQueue[*streamOp](d.K, sname),
+		completed: sim.NewCounter(d.K, "stream-done:"+sfx),
 	}
-	s.proc = d.K.GoDaemon(fmt.Sprintf("stream:%s@gpu%d", name, d.ID), s.serve)
+	s.fnServe = s.stepServe
+	s.fnWave = s.stepWave
+	s.fnWaveBody = s.stepWaveBody
+	s.fnFinish = s.finishKernel
+	s.fnFusedDone = s.stepFusedDone
+	s.fnFusedBody = s.runFusedOnBridge
+	s.task = d.K.SpawnTaskDaemon(sname, s.fnServe)
 	d.streams = append(d.streams, s)
 	return s
 }
@@ -64,9 +100,9 @@ func (s *Stream) Launch(spec KernelSpec) *sim.Gate {
 }
 
 // Enqueue places a fused operation on the stream: fn executes in stream
-// order on the stream's process after the kernel-launch latency. NCCL-style
-// collectives use this — a single persistent kernel that moves data and
-// synchronizes with peer devices without host involvement.
+// order on the stream's bridge proc after the kernel-launch latency.
+// NCCL-style collectives use this — a single persistent kernel that moves
+// data and synchronizes with peer devices without host involvement.
 func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Gate {
 	op := &streamOp{fn: fn, name: name, done: sim.NewGate(s.dev.K, "fused:"+name)}
 	s.enqueued++
@@ -74,66 +110,116 @@ func (s *Stream) Enqueue(name string, fn func(p *sim.Proc)) *sim.Gate {
 	return op.done
 }
 
-// serve is the stream daemon: pop, execute, complete, forever.
-func (s *Stream) serve(p *sim.Proc) {
-	for {
-		op := s.q.Pop(p)
-		if op.fn != nil {
-			p.Wait(s.dev.M.KernelLaunchCost)
-			t0 := p.Now()
-			op.fn(p)
-			s.dev.K.Tracer().Span(s.track, op.name, t0, p.Now())
-		} else {
-			s.execute(p, op.spec)
+// stepServe is the serve machine's idle state: pop the next op or park on
+// the queue until one is pushed (the same step re-runs on wake).
+func (s *Stream) stepServe(t *sim.Task) {
+	op, ok := s.q.PopAwait(t)
+	if !ok {
+		return
+	}
+	s.cur = op
+	if op.fn != nil {
+		// Fused op: run the imperative body on the bridge proc, then finish
+		// with the continuation (same dispatch, on the bridge).
+		t.CallProc(s.fnFusedBody)
+		t.Then(s.fnFusedDone)
+		return
+	}
+	// Kernel: charge the launch latency, then run waves.
+	s.winit = false
+	s.wstart = 0
+	t.Then(s.fnWave)
+	t.Sleep(s.dev.M.KernelLaunchCost)
+}
+
+// stepWave claims the next SM wave and arms the block bodies to run at the
+// wave's completion time — the continuation form of
+// p.WaitUntil(ClaimWave(wave)). With no waves left it closes out the kernel.
+func (s *Stream) stepWave(t *sim.Task) {
+	spec := s.cur.spec
+	if !s.winit {
+		// First wave: waves start now (post-launch-latency), as execute's
+		// kstart recorded.
+		s.winit = true
+		s.kstart = t.Now()
+		s.wave = spec.WaveTime
+		if s.wave == 0 {
+			s.wave = s.dev.M.VecAddWaveTime
 		}
-		op.done.Open()
-		s.completed.Add(1)
+		s.bpw = s.dev.M.BlocksPerWave(spec.Block)
+	}
+	if s.wstart >= spec.Grid {
+		// Close out as an inline continuation (same dispatch, no event):
+		// finishKernel is once-per-kernel, not per-wave, and its tracer
+		// formatting keeps it out of the designated hot-path set.
+		t.Then(s.fnFinish)
+		return
+	}
+	t.Then(s.fnWaveBody)
+	t.SleepUntil(s.dev.ClaimWave(s.wave))
+}
+
+// stepWaveBody runs one wave's block bodies at end-of-wave and charges the
+// maximum block-local extra cost, exactly as the goroutine loop did.
+func (s *Stream) stepWaveBody(t *sim.Task) {
+	spec := s.cur.spec
+	start := s.wstart
+	end := start + s.bpw
+	if end > spec.Grid {
+		end = spec.Grid
+	}
+	var maxExtra sim.Duration
+	if spec.Body != nil {
+		for blk := start; blk < end; blk++ {
+			bc := BlockCtx{Idx: blk, Dim: spec.Block, Grid: spec.Grid, stream: s}
+			spec.Body(&bc)
+			if bc.extra > maxExtra {
+				maxExtra = bc.extra
+			}
+		}
+	}
+	s.wstart = end
+	t.Then(s.fnWave)
+	if maxExtra > 0 {
+		t.Sleep(maxExtra)
 	}
 }
 
-// execute runs one kernel wave-by-wave. Timing per wave: the wave's compute
-// time elapses first, then block bodies run (their stores and signalling
-// occur at end-of-wave), then the wave is extended by the maximum
-// block-local extra charge (blocks in a wave are parallel across SMs, so
-// their local costs overlap; posted stores serialize on pipes regardless).
-func (s *Stream) execute(p *sim.Proc, spec *KernelSpec) {
-	m := s.dev.M
-	p.Wait(m.KernelLaunchCost)
-	kstart := p.Now()
-	defer func() {
-		// Build the span args only when a tracer is attached: formatting the
-		// geometry on every launch showed up in untraced benchmark runs.
-		if tr := s.dev.K.Tracer(); tr != nil {
-			tr.Span(s.track, spec.Name, kstart, p.Now(),
-				sim.TraceKV{K: "grid", V: fmt.Sprint(spec.Grid)},
-				sim.TraceKV{K: "block", V: fmt.Sprint(spec.Block)})
-		}
-	}()
-	wave := spec.WaveTime
-	if wave == 0 {
-		wave = m.VecAddWaveTime
+// finishKernel emits the kernel span, opens the completion gate and returns
+// the machine to the idle state.
+func (s *Stream) finishKernel(t *sim.Task) {
+	// Build the span args only when a tracer is attached: formatting the
+	// geometry on every launch showed up in untraced benchmark runs.
+	if tr := s.dev.K.Tracer(); tr != nil {
+		spec := s.cur.spec
+		tr.Span(s.track, spec.Name, s.kstart, t.Now(),
+			sim.TraceKV{K: "grid", V: fmt.Sprint(spec.Grid)},
+			sim.TraceKV{K: "block", V: fmt.Sprint(spec.Block)})
 	}
-	bpw := m.BlocksPerWave(spec.Block)
-	for start := 0; start < spec.Grid; start += bpw {
-		end := start + bpw
-		if end > spec.Grid {
-			end = spec.Grid
-		}
-		p.WaitUntil(s.dev.ClaimWave(wave))
-		var maxExtra sim.Duration
-		if spec.Body != nil {
-			for blk := start; blk < end; blk++ {
-				bc := BlockCtx{Idx: blk, Dim: spec.Block, Grid: spec.Grid, stream: s}
-				spec.Body(&bc)
-				if bc.extra > maxExtra {
-					maxExtra = bc.extra
-				}
-			}
-		}
-		if maxExtra > 0 {
-			p.Wait(maxExtra)
-		}
-	}
+	op := s.cur
+	s.cur = nil
+	op.done.Open()
+	s.completed.Add(1)
+	t.Then(s.fnServe)
+}
+
+// runFusedOnBridge is the bridge-proc body for fused ops: launch latency,
+// then the op's imperative code, with the span start recorded in between —
+// byte-for-byte the timing of the old goroutine serve loop.
+func (s *Stream) runFusedOnBridge(p *sim.Proc) {
+	p.Wait(s.dev.M.KernelLaunchCost)
+	s.fusedT0 = p.Now()
+	s.cur.fn(p)
+}
+
+// stepFusedDone completes a fused op after its bridge body returned.
+func (s *Stream) stepFusedDone(t *sim.Task) {
+	op := s.cur
+	s.cur = nil
+	s.dev.K.Tracer().Span(s.track, op.name, s.fusedT0, t.Now())
+	op.done.Open()
+	s.completed.Add(1)
+	t.Then(s.fnServe)
 }
 
 // Pending reports how many enqueued ops have not completed.

@@ -16,15 +16,16 @@ const (
 
 // Apply reduces src into dst element-wise.
 func (op ReduceOp) Apply(dst, src []float64) {
+	dst = dst[:len(src)] // one bounds check for the whole loop
 	switch op {
 	case OpSum:
-		for i := range src {
-			dst[i] += src[i]
+		for i, v := range src {
+			dst[i] += v
 		}
 	case OpMax:
-		for i := range src {
-			if src[i] > dst[i] {
-				dst[i] = src[i]
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
 			}
 		}
 	}
@@ -54,35 +55,41 @@ func (r *Rank) Allreduce(p *sim.Proc, buf []float64, op ReduceOp) {
 	n := len(buf)
 	bytes := int64(8 * n)
 
-	// Stage device -> host.
+	// Stage device -> host. The C2C staging cost is charged by the memcpy
+	// calls; the algorithm then works on buf in place — a separate host
+	// shadow buffer would change no delivered bytes (every transfer below
+	// completes before the next mutation of its source), only add two
+	// full-size copies per call to the measured host time.
 	r.Dev.MemcpyD2H(p, bytes)
-	host := make([]float64, n)
-	copy(host, buf)
 
 	reduceCost := sim.Duration(float64(bytes) / r.W.Model.CPUReduceBytesPerSec * 1e9)
 	if r.ID == 0 {
-		// Linear reduce at root: receive and fold each peer in turn.
-		tmp := make([]float64, n)
+		// Linear reduce at root: receive and fold each peer in turn. The
+		// receive scratch lives on the rank and is reused across calls.
+		if cap(r.arTmp) < n {
+			r.arTmp = make([]float64, n)
+		}
+		tmp := r.arTmp[:n]
 		for src := 1; src < P; src++ {
 			r.RecvHostBuf(p, src, allreduceTagBase+src, tmp)
 			p.Wait(reduceCost)
-			op.Apply(host, tmp)
+			op.Apply(buf, tmp)
 		}
-		// Linear bcast of the result.
+		// Linear bcast of the result (buf is not mutated after this point,
+		// so the in-flight sends read stable data).
 		ops := make([]*Op, 0, P-1)
 		for dst := 1; dst < P; dst++ {
-			ops = append(ops, r.IsendHost(p, dst, allreduceTagBase+1024+dst, host))
+			ops = append(ops, r.IsendHost(p, dst, allreduceTagBase+1024+dst, buf))
 		}
 		for _, o := range ops {
 			o.Wait(p)
 		}
 	} else {
-		r.SendHostBuf(p, 0, allreduceTagBase+r.ID, host)
-		r.RecvHostBuf(p, 0, allreduceTagBase+1024+r.ID, host)
+		r.SendHostBuf(p, 0, allreduceTagBase+r.ID, buf)
+		r.RecvHostBuf(p, 0, allreduceTagBase+1024+r.ID, buf)
 	}
 
 	// Stage host -> device.
-	copy(buf, host)
 	r.Dev.MemcpyH2D(p, bytes)
 }
 

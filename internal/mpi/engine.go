@@ -1,8 +1,6 @@
 package mpi
 
 import (
-	"fmt"
-
 	"mpipart/internal/sim"
 )
 
@@ -17,7 +15,21 @@ type Progressor interface {
 	Progress(p *sim.Proc) (didWork, stillActive bool)
 }
 
-// Engine is the per-rank MPI progression engine: a daemon process that
+// TaskProgressor is the continuation form of Progressor. Items implementing
+// it are advanced natively on the engine's Task — no goroutine handoffs —
+// while plain Progressors run unchanged on the engine's bridge proc.
+//
+// ProgressTask advances the item using t's continuation primitives and must
+// arrange for done(didWork, stillActive) to be called exactly once, either
+// synchronously before returning or from a continuation step after the
+// item's suspension chain finishes. The semantics of the two results match
+// Progress.
+type TaskProgressor interface {
+	Progressor
+	ProgressTask(t *sim.Task, done func(didWork, stillActive bool))
+}
+
+// Engine is the per-rank MPI progression engine: a continuation Task that
 // advances registered items and progresses the UCP worker (running
 // put-completion callbacks such as the chained receive-side arrival-flag
 // puts). It is event-driven: every wake source of the partitioned library —
@@ -26,15 +38,43 @@ type Progressor interface {
 // variable, on which the engine parks when it has nothing to do. On waking
 // it charges one polling interval, modelling the detection latency of the
 // real engine's poll loop.
+//
+// The engine used to be a goroutine daemon; it is now a state machine whose
+// pass structure mirrors the old loop exactly (scan items, progress the
+// worker, park if idle), so the virtual-time schedule is bit-identical while
+// each wake costs a function call instead of two channel handoffs.
 type Engine struct {
-	r     *Rank
-	items []Progressor
-	proc  *sim.Proc
+	r       *Rank
+	items   []Progressor
+	scratch []Progressor // retired scan buffer, reused to stop per-pass growth
+	task    *sim.Task
+
+	// Scan state for the pass in flight.
+	old          []Progressor // items being scanned this pass
+	oi           int          // index of the item in flight
+	did          bool         // any item (or the worker) made progress
+	bDid, bActiv bool         // bridged legacy Progressor result
+
+	// Continuation steps, bound once so the steady state allocates nothing.
+	fnPass       sim.TaskFn
+	fnItems      sim.TaskFn
+	fnBridged    sim.TaskFn
+	fnWorkerDone sim.TaskFn
+	fnIdleWake   sim.TaskFn
+	fnItemDone   func(didWork, stillActive bool)
+	fnBridgeBody func(p *sim.Proc)
 }
 
 func newEngine(r *Rank) *Engine {
 	e := &Engine{r: r}
-	e.proc = r.W.K.GoDaemon(fmt.Sprintf("progress%d", r.ID), e.loop)
+	e.fnPass = e.stepPass
+	e.fnItems = e.stepItems
+	e.fnBridged = e.stepBridged
+	e.fnWorkerDone = e.stepWorkerDone
+	e.fnIdleWake = e.stepIdleWake
+	e.fnItemDone = e.finishItem
+	e.fnBridgeBody = e.runItemOnBridge
+	e.task = r.W.K.SpawnTaskDaemonID("progress", r.ID, e.fnPass)
 	return e
 }
 
@@ -47,33 +87,91 @@ func (e *Engine) Register(it Progressor) {
 // Active reports the number of registered items (for tests).
 func (e *Engine) Active() int { return len(e.items) }
 
-func (e *Engine) loop(p *sim.Proc) {
-	w := e.r.Worker
-	for {
-		did := false
-		if len(e.items) > 0 {
-			// Swap out the item list so Register calls made from inside
-			// Progress (e.g. a collective arming a next phase) land on the
-			// fresh list and are retained.
-			old := e.items
-			e.items = nil
-			for _, it := range old {
-				dw, active := it.Progress(p)
-				did = did || dw
-				if active {
-					e.items = append(e.items, it)
-				}
-			}
-		}
-		if w.Progress(p) > 0 {
-			did = true
-		}
-		if !did {
-			w.Cond().Wait(p)
-			// Detection latency: the real engine polls; model the average
-			// delay between an event becoming visible and the poll loop
-			// acting on it.
-			p.Wait(e.r.W.Model.ProgressPollInterval)
-		}
+// stepPass starts one engine pass: swap out the item list so Register calls
+// made from inside an item's progress (e.g. a collective arming a next
+// phase) land on the fresh list and are retained.
+func (e *Engine) stepPass(t *sim.Task) {
+	e.did = false
+	if len(e.items) > 0 {
+		e.old = e.items
+		e.items = e.scratch[:0]
 	}
+	e.oi = 0
+	// Continue inline (same dispatch, no event): stepItems fans out through
+	// the Progressor interface to item implementations that may format
+	// sanitizer diagnostics, which keeps it out of the designated hot set.
+	t.Then(e.fnItems)
+}
+
+// stepItems advances the next registered item, or moves on to the worker
+// when the scan is complete. Task-native items run their continuation chain
+// in place; legacy goroutine-style items run on the bridge proc.
+func (e *Engine) stepItems(t *sim.Task) {
+	if e.oi >= len(e.old) {
+		// Scan done: recycle the retired buffer for the next pass and
+		// progress the worker's callback queue.
+		if e.old != nil {
+			for i := range e.old {
+				e.old[i] = nil
+			}
+			e.scratch = e.old[:0]
+			e.old = nil
+		}
+		e.r.Worker.ProgressTask(t, e.fnWorkerDone)
+		return
+	}
+	if tp, ok := e.old[e.oi].(TaskProgressor); ok {
+		tp.ProgressTask(t, e.fnItemDone)
+		return
+	}
+	t.CallProc(e.fnBridgeBody)
+	t.Then(e.fnBridged)
+}
+
+// runItemOnBridge drives one legacy Progressor on the bridge proc, exactly
+// as the goroutine engine called it inline.
+func (e *Engine) runItemOnBridge(p *sim.Proc) {
+	e.bDid, e.bActiv = e.old[e.oi].Progress(p)
+}
+
+// stepBridged folds a bridged item's result back into the scan.
+func (e *Engine) stepBridged(t *sim.Task) {
+	e.finishItem(e.bDid, e.bActiv)
+}
+
+// finishItem records one item's progress result and continues the scan. It
+// runs after the item's progress completed — synchronously or at the end of
+// its suspension chain — so a Register made during progress lands in
+// e.items before the item's own re-append, preserving the goroutine loop's
+// retention order.
+func (e *Engine) finishItem(didWork, stillActive bool) {
+	e.did = e.did || didWork
+	if stillActive {
+		e.items = append(e.items, e.old[e.oi])
+	}
+	e.oi++
+	e.task.Then(e.fnItems)
+}
+
+// stepWorkerDone closes the pass after the worker's callback queue drained:
+// loop immediately if anything progressed, otherwise park on the worker's
+// condition variable.
+func (e *Engine) stepWorkerDone(t *sim.Task) {
+	if e.r.Worker.TaskProgressed() > 0 {
+		e.did = true
+	}
+	if !e.did {
+		e.r.Worker.Cond().Await(t)
+		t.Then(e.fnIdleWake)
+		return
+	}
+	t.Then(e.fnPass)
+}
+
+// stepIdleWake charges the detection latency after an idle wake: the real
+// engine polls; model the average delay between an event becoming visible
+// and the poll loop acting on it.
+func (e *Engine) stepIdleWake(t *sim.Task) {
+	t.Then(e.fnPass)
+	t.Sleep(e.r.W.Model.ProgressPollInterval)
 }

@@ -71,6 +71,11 @@ type Rank struct {
 	// MCAInitialized records whether the one-time MCA module setup cost
 	// has been charged (first MPIX_Pbuf_prepare).
 	MCAInitialized bool
+
+	// arTmp is the traditional Allreduce's receive scratch at the root,
+	// reused across calls (the baseline variants call it every training
+	// step; a fresh buffer per call dominated allocation).
+	arTmp []float64
 }
 
 // NewWorld builds the machine: fabric, devices, workers, progression
@@ -111,7 +116,7 @@ func (w *World) Rank(id int) *Rank { return w.ranks[id] }
 func (w *World) Spawn(main func(r *Rank)) {
 	for _, r := range w.ranks {
 		r := r
-		r.proc = w.K.Go(fmt.Sprintf("rank%d", r.ID), func(p *sim.Proc) {
+		r.proc = w.K.GoID("rank", r.ID, func(p *sim.Proc) {
 			main(r)
 		})
 	}
@@ -119,6 +124,18 @@ func (w *World) Spawn(main func(r *Rank)) {
 
 // Run executes the simulation to completion.
 func (w *World) Run() error { return w.K.Run() }
+
+// Free recycles every device buffer of every rank into the global slab
+// pool. Call it only after Run, once all results have been copied out of
+// device memory into scalars — the bench harness does this between
+// measurement points so successive worlds reuse warm pages instead of
+// re-faulting hundreds of megabytes. Tests that inspect device buffers
+// after Run simply never call Free.
+func (w *World) Free() {
+	for _, r := range w.ranks {
+		r.Dev.Release()
+	}
+}
 
 // Proc returns the rank's host process. Rank methods must be called from it.
 func (r *Rank) Proc() *sim.Proc { return r.proc }

@@ -120,11 +120,17 @@ func (c *Comm) runRing(p *sim.Proc, o *ringOp, me int) {
 		rc := (me + 2*P - step - 1) % P
 		// Push our chunk to the neighbour's staging for this step; the
 		// transfer is initiated by device-side stores, no host involved.
+		// Staging hands the receiver a VIEW of the sender's chunk rather
+		// than a copy: ring rank me mutates chunk k only at the step before
+		// it sends k (reduce fold or allgather overwrite), never after, so
+		// between delivery and the receiver's read the bytes are stable and
+		// the view is indistinguishable from a snapshot. The per-step copy
+		// this replaces was a top allocation site.
 		src := chunks[sc]
 		arr := o.arrived[next]
 		stepIdx := step
 		route.TransferThen(int64(8*len(src)), func() {
-			o.staging[next][stepIdx] = append([]float64(nil), src...)
+			o.staging[next][stepIdx] = src
 			arr.Add(1)
 		})
 		// Wait for the predecessor's chunk for this step.

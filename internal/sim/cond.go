@@ -3,19 +3,21 @@ package sim
 import "fmt"
 
 // Cond is a virtual-time condition variable. Procs park on it with Wait and
-// are released (at the current virtual time, in FIFO order) by Signal or
-// Broadcast. Unlike sync.Cond there is no associated lock: the simulation is
-// single-threaded in virtual time, so state inspected before Wait cannot be
-// mutated concurrently — only by other procs after control is yielded, which
-// is exactly the standard "re-check the predicate in a loop" contract.
+// Tasks with Await; both are released (at the current virtual time, in one
+// FIFO order interleaving the two kinds) by Signal or Broadcast. Unlike
+// sync.Cond there is no associated lock: the simulation is single-threaded
+// in virtual time, so state inspected before Wait cannot be mutated
+// concurrently — only by other actors after control is yielded, which is
+// exactly the standard "re-check the predicate in a loop" contract.
 //
-// The waiter list is a ring buffer: Signal dequeues in O(1) instead of the
-// previous copy-on-pop O(n), and Wait records only a typed block reason
-// (no per-wait string formatting).
+// The waiter list is a ring buffer of actorRef: Signal dequeues in O(1)
+// instead of the previous copy-on-pop O(n), Wait/Await record only a typed
+// block reason (no per-wait string formatting), and procs and tasks occupy
+// the same slots so converting an actor cannot reorder wakes.
 type Cond struct {
 	k       *Kernel
 	name    string
-	waiters ring[*Proc]
+	waiters ring[actorRef]
 }
 
 // NewCond creates a condition variable attached to k. The name appears in
@@ -24,11 +26,11 @@ func NewCond(k *Kernel, name string) *Cond {
 	return &Cond{k: k, name: name}
 }
 
-// Wait parks p until another proc (or event callback) calls Signal or
+// Wait parks p until another actor (or event callback) calls Signal or
 // Broadcast. As with any condition variable, callers must re-check their
 // predicate after waking.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters.push(p)
+	c.waiters.push(actorRef{p: p})
 	p.block(stateBlocked, blockReason{kind: blockCond, name: c.name})
 }
 
@@ -40,22 +42,31 @@ func (c *Cond) WaitFor(p *Proc, pred func() bool) {
 	}
 }
 
-// Signal wakes the longest-waiting proc, if any.
+// Await parks t until the Cond is signalled, taking the same FIFO slot a
+// proc's Wait would. On wake the task's armed step runs — by default the
+// same step that called Await, which re-checks its predicate and either
+// proceeds or Awaits again: the continuation form of the WaitFor loop.
+func (c *Cond) Await(t *Task) {
+	c.waiters.push(actorRef{t: t})
+	t.park(blockReason{kind: blockCond, name: c.name})
+}
+
+// Signal wakes the longest-waiting actor, if any.
 func (c *Cond) Signal() {
 	if c.waiters.empty() {
 		return
 	}
-	c.k.ready(c.waiters.pop())
+	c.k.readyActor(c.waiters.pop())
 }
 
-// Broadcast wakes every waiting proc in FIFO order.
+// Broadcast wakes every waiting actor in FIFO order.
 func (c *Cond) Broadcast() {
 	for !c.waiters.empty() {
-		c.k.ready(c.waiters.pop())
+		c.k.readyActor(c.waiters.pop())
 	}
 }
 
-// Waiters reports how many procs are parked on the Cond.
+// Waiters reports how many actors are parked on the Cond.
 func (c *Cond) Waiters() int { return c.waiters.len() }
 
 // Gate is a one-shot latch: procs Wait until Open is called, after which all
@@ -88,6 +99,16 @@ func (g *Gate) Wait(p *Proc) {
 	for !g.open {
 		g.cond.Wait(p)
 	}
+}
+
+// Await reports whether the Gate is open; if not, it parks t until Open, at
+// which point the armed step re-runs (and sees Await return true).
+func (g *Gate) Await(t *Task) bool {
+	if g.open {
+		return true
+	}
+	g.cond.Await(t)
+	return false
 }
 
 // Counter is a broadcast-on-change integer used for completion counting
@@ -124,6 +145,21 @@ func (c *Counter) WaitAtLeast(p *Proc, target int) {
 	}
 }
 
+// AwaitAtLeast reports whether the counter has reached target; if not, it
+// parks t until the next change, at which point the armed step re-runs and
+// re-checks.
+func (c *Counter) AwaitAtLeast(t *Task, target int) bool {
+	if c.n < target {
+		c.cond.Await(t)
+		return false
+	}
+	return true
+}
+
+// Cond exposes the Counter's underlying condition variable for actors that
+// need to park on "any change" directly.
+func (c *Counter) Cond() *Cond { return c.cond }
+
 // Queue is an unbounded typed FIFO in virtual time. Pop blocks until an item
 // is available. It models stream FIFOs and message queues. The payload ring
 // makes Push/Pop O(1), and the type parameter removes the interface{}
@@ -151,6 +187,18 @@ func (q *Queue[T]) Pop(p *Proc) T {
 		q.cond.Wait(p)
 	}
 	return q.items.pop()
+}
+
+// PopAwait removes and returns the oldest item if one exists; otherwise it
+// parks t until the next Push, at which point the armed step re-runs (and
+// its PopAwait call finds the item). The continuation form of Pop's
+// wait-loop.
+func (q *Queue[T]) PopAwait(t *Task) (v T, ok bool) {
+	if q.items.empty() {
+		q.cond.Await(t)
+		return v, false
+	}
+	return q.items.pop(), true
 }
 
 // TryPop removes and returns the oldest item without blocking; ok is false

@@ -72,6 +72,90 @@ func TestCondWakeOrderMatchesFIFOModel(t *testing.T) {
 	}
 }
 
+// TestMixedCondWakeOrderMatchesFIFOModel is the property test for the one-ring
+// design: proc waiters (Cond.Wait) and task callback waiters (Cond.Await)
+// interleave on a single Cond, and every wake — under a random mix of Signal
+// and Broadcast — must match the same reference FIFO queue model the all-proc
+// test uses. Whether slot i holds a goroutine or a continuation is drawn per
+// seed, so the schedule cannot depend on actor kind.
+func TestMixedCondWakeOrderMatchesFIFOModel(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel(seed)
+		c := NewCond(k, "fifo")
+		const nWaiters = 8
+		var woke []int
+		done := false
+		kinds := make([]int, nWaiters) // 0 = proc waiter, 1 = task waiter
+		for i := range kinds {
+			kinds[i] = rng.Intn(2)
+		}
+		for i := 0; i < nWaiters; i++ {
+			i := i
+			if kinds[i] == 0 {
+				k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+					for !done {
+						c.Wait(p)
+						if !done {
+							woke = append(woke, i)
+						}
+					}
+				})
+				continue
+			}
+			// Task waiter: the first step only parks (the proc's initial
+			// Wait); every re-run of the step is a wake, recorded exactly
+			// where the proc records, then re-parks. A wake after done
+			// completes the Task by arming nothing.
+			first := true
+			k.SpawnTask(fmt.Sprintf("w%d", i), func(t *Task) {
+				if !first && !done {
+					woke = append(woke, i)
+				}
+				first = false
+				if done {
+					return
+				}
+				c.Await(t)
+			})
+		}
+		var wantWoke []int
+		k.Go("driver", func(p *Proc) {
+			p.Wait(1) // all waiters are parked, in spawn order
+			model := make([]int, 0, nWaiters)
+			for i := 0; i < nWaiters; i++ {
+				model = append(model, i)
+			}
+			for round := 0; round < 200; round++ {
+				if rng.Intn(2) == 0 {
+					head := model[0]
+					model = append(model[1:], head)
+					wantWoke = append(wantWoke, head)
+					c.Signal()
+				} else {
+					wantWoke = append(wantWoke, model...)
+					c.Broadcast() // all re-park in the same order
+				}
+				p.Wait(1) // let the woken actors run and re-park
+			}
+			done = true
+			c.Broadcast()
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("seed %d (kinds %v): %v", seed, kinds, err)
+		}
+		if len(woke) != len(wantWoke) {
+			t.Fatalf("seed %d (kinds %v): %d wakes, want %d", seed, kinds, len(woke), len(wantWoke))
+		}
+		for i := range woke {
+			if woke[i] != wantWoke[i] {
+				t.Fatalf("seed %d (kinds %v): wake %d was w%d, want w%d (mixed FIFO violated)",
+					seed, kinds, i, woke[i], wantWoke[i])
+			}
+		}
+	}
+}
+
 // TestPipeUnderQueueFanIn funnels transfers from several producers through a
 // typed Queue into one consumer driving a Pipe: deliveries must serialize in
 // queue order and the pipe stats must account for every transfer exactly

@@ -9,10 +9,16 @@ package sim
 //   - ProcPingPong:        Cond signal/wake alternation between two procs
 //   - CondBroadcastStorm:  one broadcast waking a wide waiter set
 //   - MixedWorkload:       queue + pipe + timers together (realistic shape)
+//   - KernelScale10k/100k: broadcast rounds over 10k/100k mixed Task/Proc
+//                          waiters — the fabric-scale world the goroutine
+//                          design could not reasonably hold
 //
 // Companion allocation assertions live in kernelalloc_test.go.
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // BenchmarkTimerChurn measures one Wait(1) round trip per op: push a timer
 // event, park the proc, pop the event, resume the proc.
@@ -140,6 +146,72 @@ func BenchmarkMixedWorkload(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// benchmarkKernelScale is the scale workload: `actors` waiters — one Proc
+// per 64 actors, the rest continuation Tasks — all parked on a single Cond,
+// with each benchmark op broadcasting once and waiting for every actor to
+// wake and re-park. Per op = `actors` wake dispatches. The reported metrics
+// are heap-B/actor (heap growth of building and parking the world, divided
+// by the actor count; Proc stacks are not heap so this is dominated by Task
+// structs and the waiter ring) and allocs/dispatch over the measured rounds,
+// which must sit at zero in steady state. A sidecar-reporting twin lives in
+// internal/bench/scale.go (MeasureKernelScale) so BENCH_PERF.json tracks
+// these numbers across commits.
+func benchmarkKernelScale(b *testing.B, actors int) {
+	b.ReportAllocs()
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+
+	k := NewKernel(1)
+	c := NewCond(k, "scale")
+	procs := actors / 64
+	for i := 0; i < procs; i++ {
+		k.GoDaemonID("sp", i, func(p *Proc) {
+			for {
+				c.Wait(p)
+			}
+		})
+	}
+	for i := procs; i < actors; i++ {
+		k.SpawnTaskDaemonID("st", i, func(t *Task) { c.Await(t) })
+	}
+
+	var bytesPerActor, allocsPerDispatch float64
+	k.Go("driver", func(p *Proc) {
+		p.Wait(1) // every waiter has run once and parked
+		runtime.GC()
+		var ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms1)
+		bytesPerActor = float64(ms1.HeapAlloc-ms0.HeapAlloc) / float64(actors)
+		c.Broadcast() // warm round: size the wake ring once
+		p.Wait(1)
+		d0 := k.Dispatched() // per-kernel count is live; TotalDispatched flushes at Run exit
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for r := 0; r < b.N; r++ {
+			c.Broadcast()
+			p.Wait(1)
+		}
+		runtime.ReadMemStats(&after)
+		allocsPerDispatch = float64(after.Mallocs-before.Mallocs) /
+			float64(k.Dispatched()-d0)
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(bytesPerActor, "heap-B/actor")
+	b.ReportMetric(allocsPerDispatch, "allocs/dispatch")
+}
+
+// BenchmarkKernelScale10k broadcasts over 10k mixed actors: 156 procs +
+// 9,844 tasks.
+func BenchmarkKernelScale10k(b *testing.B) { benchmarkKernelScale(b, 10_000) }
+
+// BenchmarkKernelScale100k broadcasts over 100k mixed actors — 1,562 procs +
+// 98,438 tasks. Holding 100k goroutine-procs would pin ~800 MB of stacks;
+// the continuation world holds the same actor count in tens of MB of heap.
+func BenchmarkKernelScale100k(b *testing.B) { benchmarkKernelScale(b, 100_000) }
 
 // BenchmarkSpawnReap measures proc lifecycle cost: spawn, immediate exit,
 // reap — the per-world setup overhead the sweep runner pays for every rank,

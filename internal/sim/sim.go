@@ -76,6 +76,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 )
@@ -194,7 +195,8 @@ type procPoison struct{}
 // running the Proc body (they yield control to the scheduler).
 type Proc struct {
 	k       *Kernel
-	name    string
+	name    string // prefix; nameID >= 0 appends a lazily-rendered integer
+	nameID  int
 	id      int
 	wake    chan struct{}
 	state   procState
@@ -203,8 +205,15 @@ type Proc struct {
 	daemon  bool        // daemons may remain blocked at simulation end
 }
 
-// Name returns the diagnostic name given to Go/Spawn.
-func (p *Proc) Name() string { return p.name }
+// Name returns the diagnostic name given to Go/GoID. Names spawned with an
+// integer id (GoID/GoDaemonID) are rendered lazily, so spawning 100k procs
+// performs no string formatting up front.
+func (p *Proc) Name() string {
+	if p.nameID < 0 {
+		return p.name
+	}
+	return p.name + strconv.Itoa(p.nameID)
+}
 
 // Kernel returns the simulation kernel this Proc belongs to.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -239,6 +248,17 @@ type event struct {
 	phase uint8
 	fn    func()
 	proc  *Proc
+	task  *Task
+}
+
+// actorRef is one run-queue or waiter-ring slot: either a goroutine-backed
+// Proc or a continuation-based Task (task.go). Exactly one field is non-nil.
+// Procs and Tasks share every queue so their FIFO interleaving — and hence
+// every virtual-time trace — is identical regardless of which form an actor
+// takes.
+type actorRef struct {
+	p *Proc
+	t *Task
 }
 
 // Delta-cycle phases of same-timestamp events.
@@ -336,11 +356,12 @@ func TotalDispatched() int64 { return atomic.LoadInt64(&totalDispatched) }
 type Kernel struct {
 	now        Time
 	events     eventHeap
-	runq       ring[*Proc]
+	runq       ring[actorRef]
 	yieldCh    chan yieldMsg
 	seq        uint64
 	nextID     int
 	live       []*Proc // all non-done procs, for deadlock diagnostics
+	liveTasks  []*Task // all non-done tasks, for deadlock diagnostics
 	running    bool
 	rng        *rand.Rand
 	shuffle    *rand.Rand // non-nil = schedule-perturbation mode (never k.rng)
@@ -444,10 +465,22 @@ func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+Time(d), fn) }
 // current virtual time. Go may be called before Run or from inside a running
 // Proc (to spawn helpers such as GPU streams).
 func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
+	return k.spawn(name, -1, body)
+}
+
+// GoID is Go with a lazily rendered "prefix<id>" name: the formatted string
+// is built only if diagnostics actually ask for it, so spawning large worlds
+// allocates no names.
+func (k *Kernel) GoID(prefix string, id int, body func(p *Proc)) *Proc {
+	return k.spawn(prefix, id, body)
+}
+
+func (k *Kernel) spawn(name string, nameID int, body func(p *Proc)) *Proc {
 	k.nextID++
 	p := &Proc{
 		k:       k,
 		name:    name,
+		nameID:  nameID,
 		id:      k.nextID,
 		wake:    make(chan struct{}),
 		state:   stateNew,
@@ -467,7 +500,7 @@ func (k *Kernel) Go(name string, body func(p *Proc)) *Proc {
 					return
 				}
 				if k.panicked == nil {
-					k.panicked = fmt.Errorf("sim: proc %q panicked: %v", p.name, r)
+					k.panicked = fmt.Errorf("sim: proc %q panicked: %v", p.Name(), r)
 				}
 			}
 			p.state = stateDone
@@ -489,25 +522,40 @@ func (k *Kernel) GoDaemon(name string, body func(p *Proc)) *Proc {
 	return p
 }
 
+// GoDaemonID is GoDaemon with a lazily rendered "prefix<id>" name.
+func (k *Kernel) GoDaemonID(prefix string, id int, body func(p *Proc)) *Proc {
+	p := k.GoID(prefix, id, body)
+	p.daemon = true
+	return p
+}
+
 // ready appends p to the run queue.
 func (k *Kernel) ready(p *Proc) {
 	if p.state == stateDone {
-		panic("sim: readying a finished proc " + p.name)
+		panic("sim: readying a finished proc " + p.Name())
 	}
 	p.state = stateReady
 	p.reason = blockReason{}
-	k.runq.push(p)
+	k.runq.push(actorRef{p: p})
 }
 
 // resume hands control to p and waits until it yields back (by blocking or
 // finishing).
 func (k *Kernel) resume(p *Proc) {
 	k.dispatched++
+	k.handoff(p)
+}
+
+// handoff is resume without the dispatch accounting. Task bridge procs are
+// woken through it directly (task.go): the bridge continues work already
+// paid for by the wake that started the owning Task's trampoline, so
+// counting it again would inflate dispatches/sec.
+func (k *Kernel) handoff(p *Proc) {
 	p.state = stateRunning
 	p.wake <- struct{}{}
 	msg := <-k.yieldCh
 	if msg.p != p {
-		panic("sim: yield from unexpected proc " + msg.p.name)
+		panic("sim: yield from unexpected proc " + msg.p.Name())
 	}
 	if msg.ended {
 		k.reap(p)
@@ -594,8 +642,10 @@ func (p *Proc) Yield() {
 }
 
 // dispatch runs one event. A timer wake with an empty run queue resumes the
-// proc directly — the fused path — instead of routing it through the run
-// queue just to pop it again on the next loop turn.
+// actor directly — the fused path — instead of routing it through the run
+// queue just to pop it again on the next loop turn. The task branch mirrors
+// the proc branch exactly, so a converted actor's wakes land in the same
+// order with the same accounting.
 func (k *Kernel) dispatch(e event) {
 	if e.proc != nil {
 		p := e.proc
@@ -605,7 +655,18 @@ func (k *Kernel) dispatch(e event) {
 			k.resume(p)
 			return
 		}
-		k.runq.push(p)
+		k.runq.push(actorRef{p: p})
+		return
+	}
+	if e.task != nil {
+		t := e.task
+		t.state = stateReady
+		t.reason = blockReason{}
+		if k.runq.empty() {
+			k.runTask(t)
+			return
+		}
+		k.runq.push(actorRef{t: t})
 		return
 	}
 	k.dispatched++
@@ -628,7 +689,12 @@ func (k *Kernel) Run() error {
 	}()
 	for !k.stopped && k.panicked == nil {
 		if !k.runq.empty() {
-			k.resume(k.runq.pop())
+			a := k.runq.pop()
+			if a.p != nil {
+				k.resume(a.p)
+			} else {
+				k.runTask(a.t)
+			}
 			continue
 		}
 		if len(k.events) > 0 {
@@ -662,6 +728,11 @@ func (k *Kernel) Run() error {
 			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
 		}
 	}
+	for _, t := range k.liveTasks {
+		if !t.daemon {
+			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
+		}
+	}
 	return nil
 }
 
@@ -683,22 +754,37 @@ func (k *Kernel) drain() {
 		close(p.wake)
 	}
 	k.live = nil
+	// Tasks hold no goroutines; dropping the live set abandons them.
+	k.liveTasks = nil
 }
 
 func (k *Kernel) describeBlocked() string {
-	ps := append([]*Proc(nil), k.live...)
-	sort.Slice(ps, func(i, j int) bool { return ps[i].id < ps[j].id })
-	var b strings.Builder
-	n := 0
-	for _, p := range ps {
+	type blocked struct {
+		id     int
+		name   string
+		state  procState
+		reason blockReason
+	}
+	var bs []blocked
+	for _, p := range k.live {
 		if p.daemon {
 			continue
 		}
-		if n > 0 {
+		bs = append(bs, blocked{p.id, p.Name(), p.state, p.reason})
+	}
+	for _, t := range k.liveTasks {
+		if t.daemon {
+			continue
+		}
+		bs = append(bs, blocked{t.id, t.Name(), t.state, t.reason})
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].id < bs[j].id })
+	var b strings.Builder
+	for i, e := range bs {
+		if i > 0 {
 			b.WriteString("; ")
 		}
-		fmt.Fprintf(&b, "%s[%s on %s]", p.name, p.state, p.reason)
-		n++
+		fmt.Fprintf(&b, "%s[%s on %s]", e.name, e.state, e.reason)
 	}
 	return b.String()
 }
@@ -706,3 +792,10 @@ func (k *Kernel) describeBlocked() string {
 // LiveProcs returns the number of processes that have not finished. After a
 // stopped Run it reports zero: abandoned procs are drained, not live.
 func (k *Kernel) LiveProcs() int { return len(k.live) }
+
+// LiveTasks returns the number of continuation Tasks that have not finished.
+func (k *Kernel) LiveTasks() int { return len(k.liveTasks) }
+
+// LiveActors returns the total number of live actors — Procs plus Tasks —
+// for scale reporting.
+func (k *Kernel) LiveActors() int { return len(k.live) + len(k.liveTasks) }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -240,6 +241,37 @@ func TestDeadlockDetected(t *testing.T) {
 	err := k.Run()
 	if err == nil {
 		t.Fatal("expected deadlock error")
+	}
+}
+
+// TestTaskDeadlockDetected pins the diagnostics for a deadlock involving only
+// continuation Tasks: Run must fail, and describeBlocked must name the parked
+// Task (with its lazily rendered id suffix), its state, and the Cond it is
+// blocked on — the same quality of report a stuck Proc gets.
+func TestTaskDeadlockDetected(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k, "never-signalled")
+	k.SpawnTaskID("stuck-task", 7, func(tk *Task) { c.Await(tk) })
+	k.SpawnTask("timed-task", func(tk *Task) {
+		if tk.Now() < 50 {
+			tk.Sleep(50) // runs once more at 50, then parks on the Cond
+			return
+		}
+		c.Await(tk)
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error for Task-only deadlock")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"deadlock",
+		"stuck-task7[blocked on cond:never-signalled]",
+		"timed-task[blocked on cond:never-signalled]",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("deadlock error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -20,6 +20,7 @@ package ucx
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"mpipart/internal/cluster"
 	"mpipart/internal/fabric"
@@ -89,6 +90,15 @@ type Worker struct {
 	// outstanding counts puts issued but whose callbacks have not yet
 	// executed; MPI_Wait uses it to know when all puts are flushed.
 	outstanding int
+
+	// Continuation-drain state (ProgressTask): the callback in flight, the
+	// items-processed count, and the caller's continuation, plus the step
+	// funcs bound once at construction.
+	tN      int
+	tCb     func(p *sim.Proc)
+	tDone   sim.TaskFn
+	fnDrain sim.TaskFn
+	fnRunCb sim.TaskFn
 }
 
 // NewWorker creates and registers a worker at the given address/GPU.
@@ -101,9 +111,11 @@ func (c *Context) NewWorker(addr WorkerAddr, gpuID int) *Worker {
 		Addr:    addr,
 		GPU:     gpuID,
 		mailbox: make(map[int][]AM),
-		cond:    sim.NewCond(c.K, fmt.Sprintf("ucx-worker-%d", addr)),
+		cond:    sim.NewCond(c.K, "ucx-worker-"+strconv.Itoa(int(addr))),
 		eps:     make(map[WorkerAddr]*Endpoint),
 	}
+	w.fnDrain = w.stepDrain
+	w.fnRunCb = w.stepRunCb
 	c.Reg.workers[addr] = w
 	return w
 }
@@ -166,6 +178,44 @@ func (w *Worker) Progress(p *sim.Proc) int {
 		n++
 	}
 	return n
+}
+
+// ProgressTask is Progress in continuation form, for Task-based progression
+// engines: it drains the callback queue charging the per-item cost, then
+// continues with done. Callbacks run with a nil proc — every production
+// completion callback only mutates request counters and ignores the
+// progressing proc (the func(p) signature remains for the legacy
+// goroutine-driven path).
+func (w *Worker) ProgressTask(t *sim.Task, done sim.TaskFn) {
+	w.tN = 0
+	w.tDone = done
+	w.stepDrain(t)
+}
+
+// TaskProgressed reports how many callbacks the last ProgressTask drain ran.
+func (w *Worker) TaskProgressed() int { return w.tN }
+
+// stepDrain pops the next queued callback and arms it to run after the
+// per-item progress cost, or hands off to the caller's continuation when
+// the queue is empty — the continuation form of the Progress loop.
+func (w *Worker) stepDrain(t *sim.Task) {
+	if len(w.cbq) == 0 {
+		t.Then(w.tDone)
+		return
+	}
+	w.tCb = w.cbq[0]
+	w.cbq = w.cbq[:copy(w.cbq, w.cbq[1:])]
+	t.Then(w.fnRunCb)
+	t.Sleep(w.Ctx.M.ProgressItemCost)
+}
+
+// stepRunCb runs the callback charged by stepDrain and loops.
+func (w *Worker) stepRunCb(t *sim.Task) {
+	cb := w.tCb
+	w.tCb = nil
+	cb(nil)
+	w.tN++
+	w.stepDrain(t)
 }
 
 // HasPending reports whether callbacks are queued or puts are in flight.
@@ -261,15 +311,34 @@ func (ep *Endpoint) RkeyUnpack(p *sim.Proc, k Rkey) (Rkey, error) {
 // the remote buffer; cb (if non-nil) is queued as a completion callback on
 // the initiating worker, to run on its next Progress.
 func (ep *Endpoint) PutPartition(p *sim.Proc, k Rkey, part int, src []float64, cb func(p *sim.Proc)) {
+	ep.PutPartitionValidate(k, part, src)
+	p.Wait(ep.w.Ctx.M.PutDataIssueCost)
+	ep.PutPartitionCommit(k, part, src, cb)
+}
+
+// PutPartitionValidate performs PutPartition's misuse checks without issuing
+// anything. Task-based callers run it before charging the issue cost so a
+// bad put fails at the call site, as the blocking form does.
+func (ep *Endpoint) PutPartitionValidate(k Rkey, part int, src []float64) {
 	if part < 0 || part >= len(k.parts) {
 		panic(fmt.Sprintf("ucx: put to partition %d of %d", part, len(k.parts)))
 	}
-	dst := k.parts[part]
-	if len(dst) < len(src) {
-		panic(fmt.Sprintf("ucx: partition %d put overflow: %d into %d", part, len(src), len(dst)))
+	if len(k.parts[part]) < len(src) {
+		panic(fmt.Sprintf("ucx: partition %d put overflow: %d into %d", part, len(src), len(k.parts[part])))
 	}
-	p.Wait(ep.w.Ctx.M.PutDataIssueCost)
-	ep.w.Ctx.K.Tracer().Instant(fmt.Sprintf("worker%d", ep.w.Addr), fmt.Sprintf("put_nbx part %d (%dB)", part, 8*len(src)), ep.w.Ctx.K.Now())
+}
+
+// PutPartitionCommit is the post-issue-cost half of PutPartition: it books
+// the transfer on the route and schedules delivery and completion. Callers
+// must have charged Model.PutDataIssueCost of virtual time after
+// PutPartitionValidate.
+func (ep *Endpoint) PutPartitionCommit(k Rkey, part int, src []float64, cb func(p *sim.Proc)) {
+	dst := k.parts[part]
+	// Build the trace args only when a tracer is attached: the two
+	// fmt.Sprintf calls per put showed up in untraced benchmark profiles.
+	if tr := ep.w.Ctx.K.Tracer(); tr != nil {
+		tr.Instant(fmt.Sprintf("worker%d", ep.w.Addr), fmt.Sprintf("put_nbx part %d (%dB)", part, 8*len(src)), ep.w.Ctx.K.Now())
+	}
 	ep.w.outstanding++
 	// Remote delivery happens at the pipe's delivery time; the operation
 	// completes *locally* once the pipe has serialized it (UCX put
@@ -291,11 +360,24 @@ func (ep *Endpoint) PutPartition(p *sim.Proc, k Rkey, part int, src []float64, c
 // receive-side completion signal UCX lacks natively, built as a chained
 // put). cb runs on the initiator's next Progress after delivery.
 func (ep *Endpoint) PutFlag(p *sim.Proc, k Rkey, idx int, val int64, cb func(p *sim.Proc)) {
+	ep.PutFlagValidate(k)
+	p.Wait(ep.w.Ctx.M.PutIssueCost)
+	ep.PutFlagCommit(k, idx, val, cb)
+}
+
+// PutFlagValidate performs PutFlag's misuse check without issuing anything.
+func (ep *Endpoint) PutFlagValidate(k Rkey) {
 	if k.flags == nil {
 		panic("ucx: PutFlag on rkey without registered flags")
 	}
-	p.Wait(ep.w.Ctx.M.PutIssueCost)
-	ep.w.Ctx.K.Tracer().Instant(fmt.Sprintf("worker%d", ep.w.Addr), fmt.Sprintf("put_flag %d", idx), ep.w.Ctx.K.Now())
+}
+
+// PutFlagCommit is the post-issue-cost half of PutFlag. Callers must have
+// charged Model.PutIssueCost of virtual time after PutFlagValidate.
+func (ep *Endpoint) PutFlagCommit(k Rkey, idx int, val int64, cb func(p *sim.Proc)) {
+	if tr := ep.w.Ctx.K.Tracer(); tr != nil {
+		tr.Instant(fmt.Sprintf("worker%d", ep.w.Addr), fmt.Sprintf("put_flag %d", idx), ep.w.Ctx.K.Now())
+	}
 	ep.w.outstanding++
 	delivered := ep.route.Transfer(8)
 	kern := ep.w.Ctx.K
