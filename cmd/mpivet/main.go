@@ -4,11 +4,14 @@
 // (including laundered through helpers), impure kernel bodies,
 // partitioned-API state-machine misuse (intra- and interprocedural), mutexes
 // held across virtual-time waits, lock acquisition-order cycles, ignored
-// errors, and non-exhaustive enum switches.
+// errors, non-exhaustive enum switches, lockset races in the
+// goroutine-concurrent host serving layer, and continuation-Task
+// discipline violations in the converted actors.
 //
 // Usage:
 //
-//	mpivet [-json|-sarif] [-summary] [-strict-ignores] [-rules r1,r2] [packages]
+//	mpivet [-json|-sarif] [-summary] [-strict-ignores] [-rules r1,r2]
+//	       [-timing] [-max-rule-time d] [packages]
 //
 // Packages are directories or recursive "dir/..." patterns relative to the
 // module root (default "./..."). The exit status is 0 when clean, 1 when
@@ -17,7 +20,10 @@
 // -summary dumps the per-function interprocedural effect summaries (the
 // lattice the analyzers consume) instead of findings. -sarif emits SARIF
 // 2.1.0 with interprocedural chains as codeFlows. -strict-ignores
-// additionally reports suppression directives that no longer fire.
+// additionally reports suppression directives that no longer fire. -timing
+// appends a per-analyzer wall-time table to stderr (and a timings section to
+// the -json report) so CI can bisect slow rules; -max-rule-time fails the
+// run (exit 1) when any single analyzer exceeds the given duration.
 //
 // A finding is suppressed by the comment
 //
@@ -51,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	strict := fs.Bool("strict-ignores", false, "report lint:ignore directives that no longer suppress anything")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	timing := fs.Bool("timing", false, "report per-analyzer wall time (stderr table; timings section in -json)")
+	maxRuleTime := fs.Duration("max-rule-time", 0, "fail when any analyzer exceeds this duration (0 = no budget)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,8 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	diags := analysis.RunWith(analyzers, pkgs, analysis.Options{StrictIgnores: *strict})
+	diags, timings := analysis.RunTimed(analyzers, pkgs, analysis.Options{StrictIgnores: *strict})
 	switch {
+	case *jsonOut && *timing:
+		err = analysis.WriteJSONTimed(stdout, diags, timings)
 	case *jsonOut:
 		err = analysis.WriteJSON(stdout, diags)
 	case *sarifOut:
@@ -121,7 +131,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mpivet: %v\n", err)
 		return 2
 	}
-	if len(diags) > 0 {
+	if *timing {
+		if err := analysis.WriteTimings(stderr, timings); err != nil {
+			fmt.Fprintf(stderr, "mpivet: %v\n", err)
+			return 2
+		}
+	}
+	over := false
+	if *maxRuleTime > 0 {
+		budget := float64(*maxRuleTime) / 1e6 // duration -> ms
+		for _, tm := range timings {
+			if tm.Millis > budget {
+				fmt.Fprintf(stderr, "mpivet: analyzer %s took %.1f ms, over the %s budget\n",
+					tm.Rule, tm.Millis, *maxRuleTime)
+				over = true
+			}
+		}
+	}
+	if len(diags) > 0 || over {
 		return 1
 	}
 	return 0

@@ -97,6 +97,67 @@ func TestSARIFMode(t *testing.T) {
 	}
 }
 
+// TestTimingMode pins the -timing contract: a per-analyzer wall-time table on
+// stderr, a timings section in the -json report (absent without the flag so
+// the golden artifact stays byte-stable), and the -max-rule-time budget that
+// turns a slow analyzer into a failing exit for CI.
+func TestTimingMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-timing", "-rules", "simclock", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("-timing: exit %d, stderr %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "simclock") || !strings.Contains(errOut.String(), "ms") {
+		t.Fatalf("-timing stderr lacks the wall-time table:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json", "-timing", "-rules", "simclock", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("-json -timing: exit %d, stderr %s", code, errOut.String())
+	}
+	var rep struct {
+		Timings []struct {
+			Rule   string  `json:"rule"`
+			Millis float64 `json:"millis"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json -timing output is not JSON: %v", err)
+	}
+	rules := make(map[string]bool)
+	for _, tm := range rep.Timings {
+		rules[tm.Rule] = true
+	}
+	if !rules["simclock"] || !rules["(callgraph)"] {
+		t.Fatalf("timings section missing simclock/(callgraph): %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-json", "-rules", "simclock", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("-json: exit %d, stderr %s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "timings") {
+		t.Fatalf("-json without -timing must omit the timings section:\n%s", out.String())
+	}
+
+	// An absurdly small budget turns the run into exit 1 with a named
+	// offender; a generous one stays clean.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-max-rule-time", "1ns", "-rules", "simclock", "./internal/sim"}, &out, &errOut); code != 1 {
+		t.Fatalf("-max-rule-time 1ns: exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "over the 1ns budget") {
+		t.Fatalf("budget breach not reported:\n%s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-max-rule-time", "10m", "-rules", "simclock", "./internal/sim"}, &out, &errOut); code != 0 {
+		t.Fatalf("-max-rule-time 10m: exit %d, want 0\nstderr: %s", code, errOut.String())
+	}
+}
+
 // TestJSONDeterminism runs the full pipeline twice over the same packages and
 // requires byte-identical JSON — the ordering guarantee downstream tooling
 // (and the golden CI artifact) depends on.

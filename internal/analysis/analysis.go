@@ -23,6 +23,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, addressed by file:line:col. Interprocedural
@@ -137,6 +138,8 @@ func Analyzers() []*Analyzer {
 		MapOrderAnalyzer,
 		FloatOrderAnalyzer,
 		SelectNondetAnalyzer,
+		RaceLockAnalyzer,
+		TaskStateAnalyzer,
 	}
 }
 
@@ -181,8 +184,27 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
 
 // RunWith is Run with explicit Options.
 func RunWith(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic {
+	diags, _ := RunTimed(analyzers, pkgs, opts)
+	return diags
+}
+
+// RuleTiming is one analyzer's aggregate wall time across all packages of a
+// Run (plus the shared "(callgraph)" program-construction entry). Timings
+// are measurement, not analysis output: they vary run to run and are kept
+// out of the deterministic finding stream.
+type RuleTiming struct {
+	Rule   string  `json:"rule"`
+	Millis float64 `json:"millis"`
+}
+
+// RunTimed is RunWith, additionally returning per-analyzer wall-time in the
+// analyzer order given (program construction first).
+func RunTimed(analyzers []*Analyzer, pkgs []*Package, opts Options) ([]Diagnostic, []RuleTiming) {
 	var diags []Diagnostic
+	t0 := time.Now()
 	prog := BuildProgram(pkgs)
+	timings := []RuleTiming{{Rule: "(callgraph)", Millis: msSince(t0)}}
+	spent := map[string]float64{}
 	ran := map[string]bool{}
 	for _, a := range analyzers {
 		ran[a.Name] = true
@@ -204,8 +226,13 @@ func RunWith(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic 
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog, diags: &diags}
+			ta := time.Now()
 			a.Run(pass)
+			spent[a.Name] += msSince(ta)
 		}
+	}
+	for _, a := range analyzers {
+		timings = append(timings, RuleTiming{Rule: a.Name, Millis: spent[a.Name]})
 	}
 	if opts.StrictIgnores {
 		for _, pkg := range pkgs {
@@ -223,7 +250,21 @@ func RunWith(analyzers []*Analyzer, pkgs []*Package, opts Options) []Diagnostic 
 			}
 		}
 	}
-	return dedupe(diags)
+	return dedupe(diags), timings
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}
+
+// WriteTimings prints a per-analyzer wall-time table.
+func WriteTimings(w io.Writer, timings []RuleTiming) error {
+	for _, t := range timings {
+		if _, err := fmt.Fprintf(w, "%-18s %9.1f ms\n", t.Rule, t.Millis); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dedupe removes identical findings (nested kernel closures can be reached
@@ -268,19 +309,27 @@ func WriteText(w io.Writer, diags []Diagnostic) error {
 }
 
 // jsonReport is the machine-readable output envelope of cmd/mpivet -json.
+// Timings appear only under -timing: the plain report stays byte-identical
+// across runs.
 type jsonReport struct {
 	Findings []Diagnostic `json:"findings"`
 	Count    int          `json:"count"`
+	Timings  []RuleTiming `json:"timings,omitempty"`
 }
 
 // WriteJSON prints diagnostics as a JSON report object.
 func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	return WriteJSONTimed(w, diags, nil)
+}
+
+// WriteJSONTimed is WriteJSON with an optional timing section.
+func WriteJSONTimed(w io.Writer, diags []Diagnostic, timings []RuleTiming) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonReport{Findings: diags, Count: len(diags)})
+	return enc.Encode(jsonReport{Findings: diags, Count: len(diags), Timings: timings})
 }
 
 // ---- shared AST helpers used by several analyzers ----

@@ -449,3 +449,101 @@ func reachesBlock(from, to *CFGBlock) bool {
 	}
 	return false
 }
+
+// TestCFGDeferRecover pins the shape the taskstate walk relies on: a
+// DeferStmt is an ordinary node in its block (the deferred closure is a
+// separate function), so flow runs straight through it and recover() inside
+// the closure does not fork the spawner's CFG.
+func TestCFGDeferRecover(t *testing.T) {
+	c := parseCFG(t, `
+	mark("before")
+	defer func() {
+		if r := recover(); r != nil {
+			mark("inClosure")
+		}
+	}()
+	mark("after")
+`)
+	wantReach(t, c, "before>after")
+	// The defer statement must not terminate or fork its block: before and
+	// after share one block.
+	bb, _ := markerBlock(t, c, "before")
+	ba, _ := markerBlock(t, c, "after")
+	if bb != ba {
+		t.Fatalf("defer split the block: before in %d, after in %d", bb.Index, ba.Index)
+	}
+	// The closure body belongs to the deferred function, not this CFG: its
+	// marker must not appear in any block.
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if s, ok := markerCall(n, "mark"); ok && s == "inClosure" {
+				t.Fatal("deferred closure body leaked into the enclosing CFG")
+			}
+		}
+	}
+}
+
+// TestCFGGotoIntoLoopBody pins backward goto onto a label declared inside a
+// loop body: the goto edge targets the labeled block directly, bypassing the
+// loop head, and keeps the loop path cyclic.
+func TestCFGGotoIntoLoopBody(t *testing.T) {
+	c := parseCFG(t, `
+	mark("entry")
+	for {
+	L:
+		mark("labeled")
+		if cond("retry") {
+			mark("done")
+			return
+		}
+		mark("beforeGoto")
+		goto L
+	}
+`)
+	wantReach(t, c, "entry>labeled labeled>beforeGoto beforeGoto>labeled labeled>done")
+	// The goto edge must target the labeled block itself (a cycle through
+	// L), not fall off to the exit.
+	bl, _ := markerBlock(t, c, "labeled")
+	bg, _ := markerBlock(t, c, "beforeGoto")
+	found := false
+	for _, s := range bg.Succs {
+		if s == bl {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("goto L edge missing: block %d succs do not include labeled block %d", bg.Index, bl.Index)
+	}
+}
+
+// TestCFGSelectWithDefault pins the edge shape taskstate's select fixtures
+// walk: each CommClause — including the default clause — is edged from the
+// select head, and there is no fall-through edge skipping all clauses.
+func TestCFGSelectWithDefault(t *testing.T) {
+	c := parseCFG(t, `
+	ch := make(chan int)
+	mark("head")
+	select {
+	case <-ch:
+		mark("recv")
+	default:
+		mark("dflt")
+	}
+	mark("join")
+`)
+	wantReach(t, c, "head>recv head>dflt recv>join dflt>join !recv>dflt !dflt>recv")
+	// Every path from the head to the join runs through a clause: the head
+	// block's successors are exactly the clause blocks.
+	bh, _ := markerBlock(t, c, "head")
+	br, _ := markerBlock(t, c, "recv")
+	bd, _ := markerBlock(t, c, "dflt")
+	bj, _ := markerBlock(t, c, "join")
+	for _, s := range bh.Succs {
+		if s == bj {
+			t.Fatal("select with default has a fall-through edge skipping both clauses")
+		}
+		if s != br && s != bd {
+			t.Fatalf("unexpected select head successor: block %d", s.Index)
+		}
+	}
+}

@@ -285,6 +285,92 @@ func pump(a, b chan int) int {
 }
 `,
 		},
+		// ---- CFG corner cases the flow-sensitive walks traverse ----
+		{
+			// defer/recover edges: the deferred closure is its own call-graph
+			// node, not part of this CFG, and must not derail the taint walk —
+			// the unsorted emission after it still fires.
+			name:     "maporder_defer_recover_bad",
+			analyzer: "maporder",
+			pkgPath:  "mpipart/internal/coll",
+			src: `package coll
+import "fmt"
+func emit(m map[string]int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Println("recovered")
+		}
+	}()
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+			want: []string{
+				"map-iteration-ordered value k (from range over m",
+			},
+		},
+		{
+			// Labeled goto back into a loop body: the back edge must keep the
+			// labeled block reachable and carry the taint, so the emission at
+			// the label fires.
+			name:     "maporder_goto_into_loop_bad",
+			analyzer: "maporder",
+			pkgPath:  "mpipart/internal/coll",
+			src: `package coll
+import "fmt"
+func emit(m map[string]int, n int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	i := 0
+	for {
+	L:
+		if i >= len(keys) || i >= n {
+			return
+		}
+		fmt.Println(keys[i])
+		i++
+		goto L
+	}
+}
+`,
+			want: []string{
+				"map-iteration-ordered value",
+			},
+		},
+		{
+			// select with default as a join point: the sort runs only on the
+			// communication arm, the default arm skips it, so the may-taint
+			// survives the join and the emission after the select fires.
+			name:     "maporder_select_default_skips_sort_bad",
+			analyzer: "maporder",
+			pkgPath:  "mpipart/internal/coll",
+			src: `package coll
+import (
+	"fmt"
+	"sort"
+)
+func emit(m map[string]int, ready chan int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	select {
+	case <-ready:
+		sort.Strings(keys)
+	default:
+	}
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+`,
+			want: []string{
+				"map-iteration-ordered value",
+			},
+		},
 	}
 	for _, fx := range fixtures {
 		fx := fx

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRaceLockFixtures pins the racelock analyzer: firing cases for
+// unsynchronized cross-root access (including a two-hop interprocedural
+// write under a self-concurrent HTTP handler), and non-firing cases for the
+// sanitizers the serving layer's idioms depend on — branch-correlated
+// locking, caller-held locks across calls, the channel flight protocol, and
+// sync.Once initialization.
+func TestRaceLockFixtures(t *testing.T) {
+	fixtures := []interpFixture{
+		{
+			// A spawned goroutine increments a package counter the spawner's
+			// continuation reads: no lock anywhere.
+			name:     "racelock_spawn_vs_continuation_fires",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+var hits int
+func Spawn() int {
+	go worker()
+	return hits
+}
+func worker() { hits++ }
+`}},
+			},
+			want: []string{"possible data race on serve.hits"},
+		},
+		{
+			// The write is two call hops below an HTTP handler registered via
+			// HandleFunc; handlers are self-concurrent, so the handler races
+			// with another instance of itself. Needs the chain to the write.
+			name:     "racelock_handler_two_hops_fires",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+import "net/http"
+type S struct{ n int }
+func (s *S) handle(w http.ResponseWriter, r *http.Request) { s.record() }
+func (s *S) record() { s.bump() }
+func (s *S) bump()   { s.n++ }
+func (s *S) Routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/x", s.handle)
+	return mux
+}
+`}},
+			},
+			want:      []string{"possible data race on serve.S.n"},
+			wantChain: []string{"serve.(S).record", "serve.(S).bump"},
+		},
+		{
+			// Branch-correlated locking: the lock is taken on both branches of
+			// an if/else, so the must-lockset at the write still holds it. An
+			// intra-procedural pattern match on "Lock(); write" would miss the
+			// join; the CFG intersection keeps it.
+			name:     "racelock_branch_correlated_lock_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+import "sync"
+var mu sync.Mutex
+var n int
+var fast bool
+func Spawn() {
+	go incr()
+	mu.Lock()
+	_ = n
+	mu.Unlock()
+}
+func incr() {
+	if fast {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	n++
+	mu.Unlock()
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// The caller holds the lock; the callee does the write. Looking at
+			// the callee alone the write is unlocked — the inherited lockset
+			// at the call site protects it.
+			name:     "racelock_caller_holds_lock_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+import "sync"
+var mu sync.Mutex
+var n int
+func Spawn() {
+	go locked()
+	locked()
+}
+func locked() {
+	mu.Lock()
+	set()
+	mu.Unlock()
+}
+func set() { n++ }
+`}},
+			},
+			want: nil,
+		},
+		{
+			// The Batcher flight protocol: the leader writes the result and
+			// closes the done channel; the reader receives on the channel
+			// first. close/<- on the same channel identity is a
+			// happens-before edge, not a race.
+			name:     "racelock_flight_protocol_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+type flight struct {
+	res  int
+	done chan struct{}
+}
+var fl = &flight{done: make(chan struct{})}
+func Spawn() int {
+	go lead()
+	<-fl.done
+	return fl.res
+}
+func lead() {
+	fl.res = 42
+	close(fl.done)
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// Removing the close turns the same shape into a real race: the
+			// sanitizer requires the publication edge, not just a channel
+			// field existing.
+			name:     "racelock_no_publication_fires",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+type flight struct {
+	res  int
+	done chan struct{}
+}
+var fl = &flight{done: make(chan struct{})}
+func Spawn() int {
+	go lead()
+	return fl.res
+}
+func lead() { fl.res = 42 }
+`}},
+			},
+			want: []string{"possible data race on serve.flight.res"},
+		},
+		{
+			// sync.Once: the callback's writes and post-Do reads share the
+			// Once pseudo-lock (the defaultCatalog idiom).
+			name:     "racelock_once_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+import "sync"
+var catalog struct {
+	once sync.Once
+	m    map[string]int
+}
+func Get() map[string]int {
+	catalog.once.Do(func() {
+		catalog.m = map[string]int{"a": 1}
+	})
+	return catalog.m
+}
+func Spawn() {
+	go func() { _ = Get() }()
+	_ = Get()
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// Accesses through a local struct VALUE are private copies, never
+			// shared — the field abstraction must not conflate them across
+			// goroutines (the Sweep PointResult idiom).
+			name:     "racelock_value_copy_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/serve", files: map[string]string{"f.go": `package serve
+type res struct{ n int }
+func Spawn() {
+	go work()
+	var r res
+	r.n = 1
+	_ = r.n
+}
+func work() {
+	var r res
+	r.n = 2
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// Host-concurrency rules stop at the host boundary: the same
+			// unlocked-counter shape in a sim-driven package is out of scope
+			// (the simulation is cooperative, not concurrent).
+			name:     "racelock_out_of_scope_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/fabric", files: map[string]string{"f.go": `package fabric
+var hits int
+func Spawn() int {
+	go worker()
+	return hits
+}
+func worker() { hits++ }
+`}},
+			},
+			want: nil,
+		},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			diags := runInterpFixture(t, fx)
+			if len(diags) != len(fx.want) {
+				t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(fx.want), raceDiagDump(diags))
+			}
+			for i, want := range fx.want {
+				if !strings.Contains(diags[i].Message, want) {
+					t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+				}
+			}
+			if len(fx.wantChain) > 0 {
+				if len(diags) == 0 {
+					t.Fatal("wantChain set but no findings")
+				}
+				chain := renderChain(diags[0].Chain)
+				idx := 0
+				for _, step := range fx.wantChain {
+					at := strings.Index(chain[idx:], step)
+					if at < 0 {
+						t.Fatalf("chain %q missing %q (in order)", chain, step)
+					}
+					idx += at
+				}
+			}
+		})
+	}
+}
+
+func raceDiagDump(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

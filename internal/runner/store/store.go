@@ -54,6 +54,12 @@ type Stats struct {
 // DiskStore is a content-addressed result store rooted at a directory. It
 // implements runner.Store and is safe for concurrent use by any number of
 // goroutines and processes sharing the root.
+//
+// Concurrency contract: file I/O relies on atomic write-rename and needs no
+// lock; the stats ledger is mutated only through count() under mu, and
+// Stats() copies it under the same lock. Checked statically by
+// mpivet/racelock and dynamically by TestStatsConcurrentInvariant under
+// -race.
 type DiskStore struct {
 	root string
 

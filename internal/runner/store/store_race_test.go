@@ -1,0 +1,80 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mpipart/internal/runner"
+)
+
+// TestStatsConcurrentInvariant drives concurrent savers, loaders and Stats
+// readers over one DiskStore — the sweepd shape, where batch workers save
+// while /metrics snapshots the counters — and checks the counter ledger
+// balances afterwards: every Load is exactly one hit or one miss, every Save
+// one save or one save-error. Under -race this pins that the count() path
+// keeps all Stats mutation behind s.mu (mpivet/racelock's triage conclusion
+// for this type).
+func TestStatsConcurrentInvariant(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 50
+	)
+	s := open(t)
+	m := runner.Metrics{"elapsed_ns": 1}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := runner.KeyOf(fmt.Sprintf("race/%d/%d", w, i), 1)
+				s.Load(key) // cold: a guaranteed miss
+				s.Save(key, m)
+				s.Load(key) // warm: a guaranteed hit
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				// Mid-flight snapshots must never go backwards in aggregate:
+				// each field is monotone, and the Stats value is a copy taken
+				// under the lock, so it is internally consistent.
+				st := s.Stats()
+				if st.Hits < 0 || st.Misses < 0 || st.Saves < 0 {
+					t.Error("negative counter in mid-flight Stats")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	rg.Wait()
+
+	st := s.Stats()
+	loads := workers * perWorker * 2
+	saves := workers * perWorker
+	if st.Hits+st.Misses != loads {
+		t.Fatalf("hits %d + misses %d != loads %d (stats %+v)", st.Hits, st.Misses, loads, st)
+	}
+	if st.Saves+st.SaveErrors != saves {
+		t.Fatalf("saves %d + save errors %d != Save calls %d (stats %+v)", st.Saves, st.SaveErrors, saves, st)
+	}
+	// Keys are disjoint per worker and each is saved before its warm load, so
+	// every warm load hits and every cold load misses.
+	if st.Hits != saves || st.Misses != saves {
+		t.Fatalf("hit/miss split drifted: %+v (want %d each)", st, saves)
+	}
+}

@@ -73,6 +73,12 @@ type Snapshot struct {
 }
 
 // collector accumulates totals plus a bounded ring of recent requests.
+//
+// Concurrency contract: record/batchDone run on batch worker goroutines
+// while snapshot serves GET /metrics; every counter, the sequence number and
+// the ring are guarded by mu, and nothing is read outside it. Checked
+// statically by mpivet/racelock and dynamically by
+// TestCollectorConcurrentInvariant under -race.
 type collector struct {
 	mu     sync.Mutex
 	totals Totals
