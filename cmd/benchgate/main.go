@@ -32,6 +32,7 @@
 //	benchgate -perf-baseline BENCH_PERF.json      # fail on >25% dispatches/sec regression
 //	benchgate -cpuprofile cpu.pprof -memprofile mem.pprof
 //	benchgate -shuffle-seeds 16                   # schedule-invariance fuzz
+//	benchgate -domains 2                          # shard worlds into N virtual-time domains
 //
 // With -store DIR the runner is backed by the persistent content-addressed
 // store (internal/runner/store): a warm store replays the whole gate without
@@ -40,6 +41,12 @@
 // here — the third execution mode that must also gate byte-identically. The
 // perf sidecar and shuffle fuzz measure local execution, so -server skips
 // the sidecar and refuses -shuffle-seeds.
+//
+// With -domains N every simulated world shards its kernel into up to N
+// per-node virtual-time domains (the in-kernel merged scheduler). The
+// merge is byte-identity-preserving by construction, so the SAME golden
+// file gates every domain count — the flag exists to prove exactly that,
+// plus record the per-domain dispatch breakdown in the perf sidecar.
 //
 // With -shuffle-seeds N the gate additionally re-runs the entire sweep N
 // times under seeded schedule perturbation (sim.SetShuffleSeed): same-time
@@ -88,6 +95,9 @@ func main() {
 			"re-run the sweep under N schedule-perturbation seeds and require byte-identical goldens; 0 disables")
 		shuffleReport = flag.String("shuffle-report", "",
 			"write the schedule-invariance failure diff to this file (with -shuffle-seeds)")
+
+		domains = flag.Int("domains", 1,
+			"shard every simulated world into up to N per-node virtual-time domains; the golden must hold at any value")
 	)
 	flag.Parse()
 	if *write != "" && *check != "" {
@@ -104,6 +114,10 @@ func main() {
 	if *seq {
 		*workers = 1
 	}
+	if *domains < 1 {
+		*domains = 1
+	}
+	sim.SetDefaultDomains(*domains)
 	if *server != "" {
 		if *storeDir != "" {
 			fmt.Fprintln(os.Stderr, "benchgate: -store and -server are mutually exclusive (the daemon owns its store)")
@@ -142,6 +156,8 @@ func main() {
 		}
 	}
 	d0 := sim.TotalDispatched()
+	e0 := sim.TotalElided()
+	pd0 := sim.TotalDispatchedByDomain()
 	t0 := time.Now()
 	var got bench.Golden
 	if *server != "" {
@@ -155,6 +171,19 @@ func main() {
 	}
 	wall := time.Since(t0)
 	dispatches := sim.TotalDispatched() - d0
+	elided := sim.TotalElided() - e0
+	effective := float64(dispatches+elided) / wall.Seconds()
+	var perDomain []int64
+	if *domains > 1 {
+		for d, n := range sim.TotalDispatchedByDomain() {
+			if v := n - pd0[d]; v != 0 {
+				for len(perDomain) <= d {
+					perDomain = append(perDomain, 0)
+				}
+				perDomain[d] = v
+			}
+		}
+	}
 	if *cpuProfile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -187,8 +216,23 @@ func main() {
 			len(got.Points), misses, hits, wall.Seconds(), r.Workers())
 	}
 	if *server == "" {
-		fmt.Printf("benchgate: %d dispatches, %.0f dispatches/sec\n",
-			dispatches, float64(dispatches)/wall.Seconds())
+		fmt.Printf("benchgate: %d dispatches + %d elided, %.0f dispatches/sec, %.0f effective events/sec\n",
+			dispatches, elided, float64(dispatches)/wall.Seconds(), effective)
+		if len(perDomain) > 0 {
+			fmt.Printf("benchgate: domains=%d dispatch breakdown: %v\n", *domains, perDomain)
+		}
+	}
+
+	// Read the perf baseline before refreshing the sidecar: with both flags
+	// at the default BENCH_PERF.json path the gate must compare against the
+	// committed figures, not the file this run just wrote.
+	var baseRaw []byte
+	if *perfBase != "" && *perfReg > 0 && *server == "" {
+		raw, err := os.ReadFile(*perfBase)
+		if err != nil {
+			fatal(fmt.Errorf("reading perf baseline: %w", err))
+		}
+		baseRaw = raw
 	}
 
 	if *perf != "" {
@@ -199,16 +243,20 @@ func main() {
 		fmt.Printf("benchgate: kernel scale: %d live actors, %.0f heap bytes/actor\n",
 			sc.LiveActors, sc.BytesPerActor)
 		p := bench.Perf{
-			Schema:           bench.PerfSchema,
-			Description:      "host-side cost of the benchgate run (informational; the golden gates virtual time)",
-			GOARCH:           runtime.GOARCH,
-			Workers:          r.Workers(),
-			Points:           len(got.Points),
-			WallMS:           wall.Milliseconds(),
-			Dispatches:       dispatches,
-			DispatchesPerSec: float64(dispatches) / wall.Seconds(),
-			LiveActors:       sc.LiveActors,
-			BytesPerActor:    sc.BytesPerActor,
+			Schema:                bench.PerfSchema,
+			Description:           "host-side cost of the benchgate run (informational; the golden gates virtual time)",
+			GOARCH:                runtime.GOARCH,
+			Workers:               r.Workers(),
+			Points:                len(got.Points),
+			WallMS:                wall.Milliseconds(),
+			Dispatches:            dispatches,
+			DispatchesPerSec:      float64(dispatches) / wall.Seconds(),
+			Domains:               *domains,
+			PerDomainDispatches:   perDomain,
+			ElidedEvents:          elided,
+			EffectiveEventsPerSec: effective,
+			LiveActors:            sc.LiveActors,
+			BytesPerActor:         sc.BytesPerActor,
 		}
 		b, err := bench.EncodePerf(p)
 		if err != nil {
@@ -223,25 +271,32 @@ func main() {
 	// exact). CI points -perf-baseline at the committed sidecar so a
 	// scheduler regression beyond the noise band fails the job while the
 	// fresh sidecar is still uploaded as an informational artifact.
-	if *perfBase != "" && *perfReg > 0 && *server == "" {
-		raw, err := os.ReadFile(*perfBase)
-		if err != nil {
-			fatal(fmt.Errorf("reading perf baseline: %w", err))
-		}
-		base, err := bench.DecodePerf(raw)
+	if baseRaw != nil {
+		base, err := bench.DecodePerf(baseRaw)
 		if err != nil {
 			fatal(err)
 		}
-		fresh := float64(dispatches) / wall.Seconds()
-		floor := base.DispatchesPerSec * (1 - *perfReg/100)
-		if base.DispatchesPerSec > 0 && fresh < floor {
+		// The fresh figure always counts elided events (they are simulated
+		// work the kernel absorbed, not work that vanished). The baseline
+		// figure depends on its schema: schema-2 sidecars recorded the
+		// effective rate; schema-1 sidecars predate elision, so their raw
+		// dispatches/sec IS the effective rate of their day.
+		fresh := effective
+		baseRate := base.DispatchesPerSec
+		label := "dispatches/sec"
+		if base.Schema >= 2 && base.EffectiveEventsPerSec > 0 {
+			baseRate = base.EffectiveEventsPerSec
+			label = "effective events/sec"
+		}
+		floor := baseRate * (1 - *perfReg/100)
+		if baseRate > 0 && fresh < floor {
 			fmt.Fprintf(os.Stderr,
-				"benchgate: dispatches/sec %.0f is below %.0f (baseline %.0f from %s, -perf-regress %.0f%%) — scheduler hot path regressed\n",
-				fresh, floor, base.DispatchesPerSec, *perfBase, *perfReg)
+				"benchgate: %s %.0f is below %.0f (baseline %.0f from %s, -perf-regress %.0f%%) — scheduler hot path regressed\n",
+				label, fresh, floor, baseRate, *perfBase, *perfReg)
 			os.Exit(1)
 		}
-		fmt.Printf("benchgate: dispatches/sec %.0f vs baseline %.0f (floor %.0f) — ok\n",
-			fresh, base.DispatchesPerSec, floor)
+		fmt.Printf("benchgate: %s %.0f vs baseline %.0f (floor %.0f) — ok\n",
+			label, fresh, baseRate, floor)
 	}
 
 	if *shuffleSeeds > 0 {

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDomainHotPathFixtures pins the hot-path designations added with the
+// domain-sharded scheduler and the staged pipe-transfer path: the merge-loop
+// and fusion functions must stay allocation-free, while the exempted
+// construction paths (newGroup's freelist) may allocate.
+func TestDomainHotPathFixtures(t *testing.T) {
+	l := newTestLoader(t)
+	fixtures := []fixture{
+		{
+			// Allocation sources in the newly designated functions fire:
+			// formatting in TransferStaged, a closure in the merged loop,
+			// string concatenation in a staged-group callback runner.
+			name:     "hotpathalloc_domains_bad",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/sim",
+			src: `package sim
+import "fmt"
+type Time int64
+type Pipe struct{ last string }
+type stagedGroup struct{ tag string }
+type Kernel struct{ n int }
+func (pp *Pipe) TransferStaged(size int64) Time {
+	pp.last = fmt.Sprintf("staged %d", size)
+	return Time(size)
+}
+func (g *stagedGroup) runLocal() {
+	g.tag = "fired:" + g.tag
+}
+func (k *Kernel) runMerged() {
+	step := func() { k.n++ }
+	step()
+}
+`,
+			want: []string{
+				"fmt.Sprintf call in scheduler hot path Pipe.TransferStaged",
+				"string concatenation in scheduler hot path stagedGroup.runLocal",
+				"closure literal in scheduler hot path Kernel.runMerged",
+			},
+		},
+		{
+			// Clean fused/merged paths are silent; the panic escape stays
+			// cold, and newGroup is outside the hot set (freelist-amortized
+			// construction may allocate).
+			name:     "hotpathalloc_domains_ok",
+			analyzer: "hotpathalloc",
+			pkgPath:  "mpipart/internal/sim",
+			src: `package sim
+type Time int64
+type stagedGroup struct {
+	local []func()
+	next  *stagedGroup
+}
+type Pipe struct {
+	pend *stagedGroup
+	free *stagedGroup
+}
+type Kernel struct {
+	now Time
+	cur int
+}
+func (pp *Pipe) TransferStaged(size int64, onLocal func()) Time {
+	g := pp.pend
+	if g == nil {
+		g = pp.newGroup()
+		pp.pend = g
+	}
+	g.local = append(g.local, onLocal)
+	return Time(size)
+}
+func (pp *Pipe) newGroup() *stagedGroup {
+	g := pp.free
+	if g == nil {
+		g = &stagedGroup{local: []func(){}}
+	}
+	pp.free = g.next
+	return g
+}
+func (k *Kernel) runWindow(end Time) {
+	if k.cur < 0 {
+		panic("sim: bad domain " + "?") // cold: panic may format
+	}
+	if k.now < end {
+		k.now = end
+	}
+}
+`,
+		},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			diags := runFixture(t, l, fx)
+			if len(diags) != len(fx.want) {
+				t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(fx.want), raceDiagDump(diags))
+			}
+			for i, want := range fx.want {
+				if !strings.Contains(diags[i].Message, want) {
+					t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRaceLockSimFixtures pins racelock's internal/sim scope: the cross-shard
+// mailbox and tracer surface (shards.go, trace.go) is checked for lockset
+// discipline, the cooperative kernel core is out of scope by file, and the
+// WaitGroup barrier sanitizer orders barrier-joined fan-outs without
+// suppressing genuinely shared package-level state.
+func TestRaceLockSimFixtures(t *testing.T) {
+	fixtures := []interpFixture{
+		{
+			// An unlocked mailbox append in a spawned poster races with the
+			// coordinator's drain read.
+			name:     "racelock_sim_mailbox_unlocked_fires",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/sim", files: map[string]string{"shards.go": `package sim
+type Box struct{ xs []int }
+type Shards struct{ mail []Box }
+func (s *Shards) Run() {
+	go s.post(1)
+	_ = s.mail[0].xs
+}
+func (s *Shards) post(v int) {
+	s.mail[0].xs = append(s.mail[0].xs, v)
+}
+`}},
+			},
+			want: []string{"possible data race on sim.Box.xs"},
+		},
+		{
+			// The same shape under the mailbox mutex is the intended
+			// discipline.
+			name:     "racelock_sim_mailbox_locked_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/sim", files: map[string]string{"shards.go": `package sim
+import "sync"
+type Box struct {
+	mu sync.Mutex
+	xs []int
+}
+type Shards struct{ mail []Box }
+func (s *Shards) Run() {
+	go s.post(1)
+	s.mail[0].mu.Lock()
+	_ = s.mail[0].xs
+	s.mail[0].mu.Unlock()
+}
+func (s *Shards) post(v int) {
+	s.mail[0].mu.Lock()
+	s.mail[0].xs = append(s.mail[0].xs, v)
+	s.mail[0].mu.Unlock()
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// The Shards window fan-out: one goroutine per kernel, joined by
+			// a WaitGroup. Instance-field writes inside the workers are
+			// barrier-confined (each worker owns its kernel), and the
+			// spawner's post-Wait read is ordered by the Done/Wait edge.
+			name:     "racelock_sim_wg_barrier_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/sim", files: map[string]string{"shards.go": `package sim
+import "sync"
+type Kernel struct{ n int }
+func RunWindows(ks []*Kernel) int {
+	var wg sync.WaitGroup
+	wg.Add(len(ks))
+	for _, k := range ks {
+		go func(k *Kernel) {
+			defer wg.Done()
+			k.n++
+		}(k)
+	}
+	wg.Wait()
+	return ks[0].n
+}
+`}},
+			},
+			want: nil,
+		},
+		{
+			// Barrier confinement stops at instance fields: a package-level
+			// counter bumped by two sibling workers is a real race — Done
+			// publishes to the waiter, not between siblings.
+			name:     "racelock_sim_wg_barrier_global_fires",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/sim", files: map[string]string{"shards.go": `package sim
+import "sync"
+var hits int
+type Kernel struct{ n int }
+func RunWindows(ks []*Kernel) int {
+	var wg sync.WaitGroup
+	wg.Add(len(ks))
+	for _, k := range ks {
+		go func(k *Kernel) {
+			defer wg.Done()
+			hits++
+			k.n++
+		}(k)
+	}
+	wg.Wait()
+	return hits
+}
+`}},
+			},
+			want: []string{"possible data race on sim.hits"},
+		},
+		{
+			// The cooperative kernel core is out of scope by file: the same
+			// unlocked shape in sim.go is the proc-handoff machinery, whose
+			// one-goroutine-per-kernel invariant the dynamic -race suite
+			// covers.
+			name:     "racelock_sim_core_file_silent",
+			analyzer: "racelock",
+			pkgs: []pkgSrc{
+				{path: "mpipart/internal/sim", files: map[string]string{"sim.go": `package sim
+type Kernel struct{ dispatched int }
+func (k *Kernel) Run() int {
+	go k.step()
+	return k.dispatched
+}
+func (k *Kernel) step() { k.dispatched++ }
+`}},
+			},
+			want: nil,
+		},
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		t.Run(fx.name, func(t *testing.T) {
+			diags := runInterpFixture(t, fx)
+			if len(diags) != len(fx.want) {
+				t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(fx.want), raceDiagDump(diags))
+			}
+			for i, want := range fx.want {
+				if !strings.Contains(diags[i].Message, want) {
+					t.Errorf("finding %d = %q, want substring %q", i, diags[i].Message, want)
+				}
+			}
+		})
+	}
+}

@@ -10,8 +10,14 @@ import "encoding/json"
 // up as a reviewable delta in the committed file while the golden proves the
 // simulated results did not move.
 
-// PerfSchema versions the BENCH_PERF.json layout.
-const PerfSchema = 1
+// PerfSchema versions the BENCH_PERF.json layout. Schema 2 adds the
+// domain-sharding and event-elision breakdown: the kernel can now absorb
+// events into closed-form paths (pipe staged-transfer fusion, lazily
+// settled put completions), so raw dispatches undercount the work actually
+// simulated. EffectiveEventsPerSec — (dispatches + elided) / wall — is the
+// schema-2 figure comparable across elision changes, and the one the perf
+// gate compares when the committed base is schema 2.
+const PerfSchema = 2
 
 // Perf is one gate run's host-side cost record.
 type Perf struct {
@@ -31,6 +37,19 @@ type Perf struct {
 	// DispatchesPerSec is Dispatches divided by the wall time — the
 	// events/sec figure the kernel microbenchmarks optimize for.
 	DispatchesPerSec float64 `json:"dispatches_per_sec"`
+	// Domains is the virtual-time domain count the gate worlds ran with
+	// (schema 2; 1 = unsharded).
+	Domains int `json:"domains,omitempty"`
+	// PerDomainDispatches breaks Dispatches down by domain for sharded
+	// runs (schema 2; omitted when Domains <= 1).
+	PerDomainDispatches []int64 `json:"per_domain_dispatches,omitempty"`
+	// ElidedEvents counts scheduler events absorbed by closed-form elision
+	// instead of being dispatched (schema 2), from sim.TotalElided.
+	ElidedEvents int64 `json:"elided_events,omitempty"`
+	// EffectiveEventsPerSec is (Dispatches + ElidedEvents) / wall — the
+	// throughput over simulated events whether dispatched or elided
+	// (schema 2).
+	EffectiveEventsPerSec float64 `json:"effective_events_per_sec,omitempty"`
 	// LiveActors is the actor count the KernelScale smoke world held
 	// (MeasureKernelScale): mixed Task/Proc waiters parked on one Cond.
 	// Its dispatches and wall time are measured separately and do NOT

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPerfSchemaRoundTrip pins the schema-2 sidecar layout: the breakdown
+// fields survive a round trip, and a schema-1 payload (the committed
+// baseline format before elision) still decodes with the new fields zero —
+// the property the dual-schema perf gate in cmd/benchgate relies on.
+func TestPerfSchemaRoundTrip(t *testing.T) {
+	p := Perf{
+		Schema:                PerfSchema,
+		Workers:               4,
+		Points:                62,
+		WallMS:                300,
+		Dispatches:            90000,
+		DispatchesPerSec:      300000,
+		Domains:               2,
+		PerDomainDispatches:   []int64{60000, 30000},
+		ElidedEvents:          7000,
+		EffectiveEventsPerSec: 323333,
+		LiveActors:            100000,
+		BytesPerActor:         237,
+	}
+	b, err := EncodePerf(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePerf(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Domains != 2 || back.ElidedEvents != 7000 || back.EffectiveEventsPerSec != 323333 ||
+		len(back.PerDomainDispatches) != 2 || back.PerDomainDispatches[1] != 30000 {
+		t.Fatalf("schema-2 fields lost: %+v", back)
+	}
+
+	v1 := []byte(`{"schema":1,"workers":1,"points":62,"wall_ms":302,"dispatches":97053,"dispatches_per_sec":320585.67}`)
+	old, err := DecodePerf(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Schema != 1 || old.Dispatches != 97053 {
+		t.Fatalf("schema-1 payload misdecoded: %+v", old)
+	}
+	if old.Domains != 0 || old.ElidedEvents != 0 || old.EffectiveEventsPerSec != 0 {
+		t.Fatalf("schema-1 payload grew phantom schema-2 fields: %+v", old)
+	}
+
+	// Schema-2 encodings stay human-diffable JSON with stable keys.
+	var m map[string]interface{}
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"domains", "per_domain_dispatches", "elided_events", "effective_events_per_sec"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("encoded sidecar missing %q", key)
+		}
+	}
+}

@@ -39,6 +39,22 @@ func (t Topology) NodeOf(g int) int { return g / t.GPUsPerNode }
 // SameNode reports whether two global GPU ids share a node.
 func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
 
+// DomainOf maps global GPU id g onto one of `domains` virtual-time domains.
+// Domains never split a node — all intra-node traffic (NVLink, zero-latency
+// host paths) stays domain-local, so only cross-node fabric pipes, whose
+// latency provides the conservative lookahead, carry cross-domain events.
+// With domains >= Nodes the mapping is one domain per node; fewer domains
+// group contiguous nodes evenly.
+func (t Topology) DomainOf(g, domains int) int {
+	if domains > t.Nodes {
+		domains = t.Nodes
+	}
+	if domains <= 1 {
+		return 0
+	}
+	return t.NodeOf(g) * domains / t.Nodes
+}
+
 // Validate reports whether the topology is usable.
 func (t Topology) Validate() error {
 	if t.Nodes <= 0 || t.GPUsPerNode <= 0 {

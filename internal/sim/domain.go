@@ -1,0 +1,349 @@
+package sim
+
+import "sync/atomic"
+
+// This file implements sharded virtual-time domains: the deterministic
+// "merge mode" half of the PDES design (the concurrent bounded-lag half is
+// Shards, shards.go).
+//
+// A Kernel can be partitioned into N domains, each owning its own 4-ary
+// event heap and run queue. Actors (Procs and Tasks) belong to exactly one
+// domain; timer wakes land in the owning actor's heap, callbacks land in the
+// heap of the domain that scheduled them (or an explicit one via AtDomain).
+// The scheduler then runs an N-way merge over the domain heads:
+//
+//   - Ready actors merge by a global ready-sequence stamp (rseq), assigned
+//     at every ready()/readyTask() — exactly the FIFO order a single shared
+//     run queue would produce.
+//   - Events merge by the same (at, phase, pri, seq) key the single heap
+//     orders by. Because merge mode draws seq from the one shared kernel
+//     counter, the key remains a strict total order across heaps, so the
+//     merged pop order — and therefore every virtual-time trace — is
+//     byte-identical to the single-heap kernel by construction. (Per-domain
+//     seq counters exist only across Shards kernels, where each domain is a
+//     whole Kernel; inside one merged kernel the shared counter is the
+//     determinism anchor.)
+//
+// The fused fast paths (zero-length wait, lone timer, Yield no-op, direct
+// resume in dispatch) consult global predicates — "no ready actor in any
+// domain", "no pending event at or before t in any domain" — so their
+// decisions are identical whether the kernel runs one domain or eight.
+//
+// What merge mode buys is not parallelism (it is still one goroutine) but
+// the sharded structure itself, verified byte-identical under the golden
+// gate: per-domain heaps, per-domain dispatch accounting for BENCH_PERF,
+// and the exact actor partition that Shards executes concurrently.
+
+// MaxDomains bounds the domain count of one kernel (and the width of the
+// process-wide per-domain dispatch aggregate).
+const MaxDomains = 64
+
+// maxTime is the sentinel "no window" bound for windowEnd: far enough that
+// no simulated timestamp reaches it, small enough that adding a lookahead
+// cannot overflow int64.
+const maxTime = Time(1 << 60)
+
+// domain is one virtual-time domain's scheduler state. Domain 0 is embedded
+// in the Kernel itself (its fields promote to the k.events / k.runq names
+// the single-domain hot path has always used); domains 1..n-1 live in
+// k.extra.
+type domain struct {
+	events eventHeap
+	runq   ring[actorRef]
+	// ndisp counts dispatches attributed to this domain by the merged run
+	// loop (single-domain kernels account on k.dispatched alone).
+	ndisp int64
+	// nflushed is the portion of ndisp already added to the process-wide
+	// per-domain aggregate.
+	nflushed int64
+}
+
+// domainDispatched aggregates dispatches per domain across every kernel in
+// the process, the per-domain analogue of totalDispatched. Kernels with
+// more than MaxDomains cannot exist (SetDomainCount enforces the bound).
+var domainDispatched [MaxDomains]int64
+
+// TotalDispatchedByDomain reports the process-wide dispatch count of each
+// domain index across completed Run calls. Single-domain kernels attribute
+// everything to domain 0.
+func TotalDispatchedByDomain() []int64 {
+	out := make([]int64, MaxDomains)
+	for i := range out {
+		out[i] = atomic.LoadInt64(&domainDispatched[i])
+	}
+	return out
+}
+
+// defaultDomains is the process-wide domain-count request (0 or 1 = single
+// domain). cmd/benchgate -domains sets it once before a sweep; world
+// constructors (mpi.NewWorld) read it when partitioning actors, clamped to
+// their topology's node count. Runner workers construct worlds
+// concurrently, so the slot is atomic.
+var defaultDomains atomic.Int32
+
+// SetDefaultDomains sets the process-wide domain count applied by world
+// constructors built afterwards. Values below 1 are treated as 1.
+func SetDefaultDomains(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > MaxDomains {
+		n = MaxDomains
+	}
+	defaultDomains.Store(int32(n))
+}
+
+// DefaultDomains reports the process-wide domain-count request (minimum 1).
+func DefaultDomains() int {
+	if n := defaultDomains.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
+// SetDomainCount partitions the kernel into n virtual-time domains. It must
+// be called on a fresh kernel, before any actor is spawned or event
+// scheduled: domain membership is fixed at spawn time.
+func (k *Kernel) SetDomainCount(n int) {
+	if n < 1 || n > MaxDomains {
+		panic("sim: SetDomainCount out of range")
+	}
+	if k.running {
+		panic("sim: SetDomainCount inside Run")
+	}
+	if k.seq != 0 || len(k.live) != 0 || len(k.liveTasks) != 0 || len(k.events) != 0 || !k.runq.empty() {
+		panic("sim: SetDomainCount on a kernel that already holds work")
+	}
+	k.extra = nil
+	for i := 1; i < n; i++ {
+		k.extra = append(k.extra, &domain{})
+	}
+	k.cur = 0
+}
+
+// Domains reports the kernel's domain count (1 unless SetDomainCount was
+// called).
+func (k *Kernel) Domains() int { return len(k.extra) + 1 }
+
+// SetDomain selects the current domain: actors spawned and events scheduled
+// afterwards belong to it. World constructors call it while placing each
+// node's actors; during Run the merged scheduler maintains it automatically
+// (the executing actor's domain).
+func (k *Kernel) SetDomain(d int) {
+	if d < 0 || d >= k.Domains() {
+		panic("sim: SetDomain out of range")
+	}
+	k.cur = d
+}
+
+// CurrentDomain reports the domain new work is attributed to: the executing
+// actor's domain during Run, the last SetDomain otherwise.
+func (k *Kernel) CurrentDomain() int { return k.cur }
+
+// domOf returns domain d's scheduler state.
+func (k *Kernel) domOf(d int) *domain {
+	if d == 0 {
+		return &k.domain
+	}
+	return k.extra[d-1]
+}
+
+// AtDomain schedules fn at absolute time t in domain d's event heap. In
+// merge mode the placement only affects per-domain accounting (the merge
+// order is a global total order); it exists so cross-domain completions can
+// be attributed to their receiving domain.
+func (k *Kernel) AtDomain(d int, t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.domOf(d).events.push(event{at: t, seq: k.nextSeq(), pri: k.eventPri(), phase: phaseCallback, fn: fn})
+}
+
+// DomainDispatches reports this kernel's dispatch count per domain. A
+// single-domain kernel attributes every dispatch to domain 0.
+func (k *Kernel) DomainDispatches() []int64 {
+	if k.extra == nil {
+		return []int64{k.dispatched}
+	}
+	out := make([]int64, k.Domains())
+	for d := range out {
+		out[d] = k.domOf(d).ndisp
+	}
+	return out
+}
+
+// noReady reports that no domain holds a ready actor — the multi-domain
+// form of k.runq.empty(), used by every fused fast path so its decision is
+// global. With no extra domains it degrades to exactly the old check.
+func (k *Kernel) noReady() bool {
+	if !k.runq.empty() {
+		return false
+	}
+	for _, dx := range k.extra {
+		if !dx.runq.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// noEvents reports that no domain holds a pending event.
+func (k *Kernel) noEvents() bool {
+	if len(k.events) != 0 {
+		return false
+	}
+	for _, dx := range k.extra {
+		if len(dx.events) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// noEventAtOrBefore reports that every pending event in every domain fires
+// strictly after t — the lone-timer fast-path guard.
+func (k *Kernel) noEventAtOrBefore(t Time) bool {
+	if len(k.events) > 0 && k.events[0].at <= t {
+		return false
+	}
+	for _, dx := range k.extra {
+		if len(dx.events) > 0 && dx.events[0].at <= t {
+			return false
+		}
+	}
+	return true
+}
+
+// rseqOf reads an actor ref's ready stamp.
+func rseqOf(a *actorRef) uint64 {
+	if a.p != nil {
+		return a.p.rseq
+	}
+	return a.t.rseq
+}
+
+// popReadyDomain returns the domain whose run-queue head carries the oldest
+// ready stamp — the global FIFO order a single shared run queue would pop.
+func (k *Kernel) popReadyDomain() (int, bool) {
+	best := -1
+	var bestSeq uint64
+	if !k.runq.empty() {
+		best, bestSeq = 0, rseqOf(k.runq.peek())
+	}
+	for i, dx := range k.extra {
+		if dx.runq.empty() {
+			continue
+		}
+		if s := rseqOf(dx.runq.peek()); best < 0 || s < bestSeq {
+			best, bestSeq = i+1, s
+		}
+	}
+	return best, best >= 0
+}
+
+// eventBefore compares two events by the heap key (at, phase, pri, seq) —
+// the cross-heap form of eventHeap.less. With the shared seq counter the
+// key is a strict total order, so merging domain heads by it reproduces the
+// single-heap pop order exactly.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.phase != b.phase {
+		return a.phase < b.phase
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+// minEventDomain returns the domain holding the globally minimum pending
+// event.
+func (k *Kernel) minEventDomain() (int, bool) {
+	best := -1
+	var be *event
+	if len(k.events) > 0 {
+		best, be = 0, &k.events[0]
+	}
+	for i, dx := range k.extra {
+		if len(dx.events) == 0 {
+			continue
+		}
+		if e := &dx.events[0]; best < 0 || eventBefore(e, be) {
+			best, be = i+1, e
+		}
+	}
+	return best, best >= 0
+}
+
+// dispatchFrom pops and dispatches domain d's minimum event, advancing the
+// shared clock and attributing the dispatch (plus any fused resumes it
+// triggers) to d.
+func (k *Kernel) dispatchFrom(d int) {
+	dom := k.domOf(d)
+	e := dom.events.pop()
+	if e.at > k.now {
+		k.now = e.at
+	}
+	k.cur = d
+	before := k.dispatched
+	k.dispatch(e)
+	dom.ndisp += k.dispatched - before
+}
+
+// runMerged is the multi-domain scheduler loop: the single-domain Run loop
+// with every queue access replaced by the N-way merge over domain heads.
+// Identical pop order (see eventBefore, popReadyDomain) means identical
+// execution — the golden tests pin this at domains 1, 2, and 8.
+func (k *Kernel) runMerged() {
+	for !k.stopped && k.panicked == nil {
+		if d, ok := k.popReadyDomain(); ok {
+			dom := k.domOf(d)
+			a := dom.runq.pop()
+			k.cur = d
+			before := k.dispatched
+			if a.p != nil {
+				k.resume(a.p)
+			} else {
+				k.runTask(a.t)
+			}
+			dom.ndisp += k.dispatched - before
+			continue
+		}
+		if d, ok := k.minEventDomain(); ok {
+			k.dispatchFrom(d)
+			// Batch same-timestamp callbacks across domains, mirroring the
+			// single-domain loop's batching.
+			for k.noReady() && !k.stopped && k.panicked == nil {
+				d2, ok := k.minEventDomain()
+				if !ok || k.domOf(d2).events[0].at != k.now {
+					break
+				}
+				k.dispatchFrom(d2)
+			}
+			continue
+		}
+		break
+	}
+}
+
+// flushCounters publishes this kernel's dispatch and elision counters into
+// the process-wide aggregates. It is delta-based and idempotent; Run calls
+// it on exit, and Shards calls it once per shard at termination.
+func (k *Kernel) flushCounters() {
+	delta := k.dispatched - k.flushed
+	atomic.AddInt64(&totalDispatched, delta)
+	k.flushed = k.dispatched
+	atomic.AddInt64(&totalElided, k.elided-k.elidedFlushed)
+	k.elidedFlushed = k.elided
+	if k.extra == nil {
+		atomic.AddInt64(&domainDispatched[0], delta)
+		return
+	}
+	for d := 0; d < k.Domains(); d++ {
+		dom := k.domOf(d)
+		atomic.AddInt64(&domainDispatched[d], dom.ndisp-dom.nflushed)
+		dom.nflushed = dom.ndisp
+	}
+}

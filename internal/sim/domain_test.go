@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// TestGoldenTraceByteIdenticalAcrossDomains pins the merge-mode invariant:
+// sharding the golden scenario's actors into N virtual-time domains must
+// reproduce the committed single-domain fixture byte for byte, for every
+// domain count. This is the in-kernel half of the PDES byte-identity gate
+// (cmd/benchgate -domains pins the full sweep the same way).
+func TestGoldenTraceByteIdenticalAcrossDomains(t *testing.T) {
+	want, err := os.ReadFile(goldenPath(t))
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	for _, domains := range []int{2, 3, 5, 8} {
+		got := runGoldenScenarioDomains(t, domains)
+		raw, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = append(raw, '\n')
+		if string(raw) != string(want) {
+			t.Fatalf("domains=%d: trace diverged from single-domain fixture", domains)
+		}
+	}
+}
+
+// TestDomainDispatchAccounting checks that the merged scheduler attributes
+// every dispatch to some domain and that the per-domain counts sum to the
+// kernel total.
+func TestDomainDispatchAccounting(t *testing.T) {
+	k := NewKernel(7)
+	k.SetDomainCount(4)
+	for d := 0; d < 4; d++ {
+		d := d
+		k.SetDomain(d)
+		k.GoID("actor", d, func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Wait(Duration(10 + d))
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	per := k.DomainDispatches()
+	if len(per) != 4 {
+		t.Fatalf("DomainDispatches len = %d, want 4", len(per))
+	}
+	var sum int64
+	for d, n := range per {
+		if n <= 0 {
+			t.Errorf("domain %d: no dispatches attributed", d)
+		}
+		sum += n
+	}
+	if sum != k.Dispatched() {
+		t.Errorf("per-domain sum %d != total %d", sum, k.Dispatched())
+	}
+}
+
+// TestDomainSetupValidation pins the construction-time contract.
+func TestDomainSetupValidation(t *testing.T) {
+	k := NewKernel(1)
+	k.Go("a", func(p *Proc) {})
+	mustPanic(t, "SetDomainCount after spawn", func() { k.SetDomainCount(2) })
+
+	k2 := NewKernel(1)
+	k2.SetDomainCount(2)
+	mustPanic(t, "SetDomain out of range", func() { k2.SetDomain(2) })
+	mustPanic(t, "SetDomainCount zero", func() { k2.SetDomainCount(0) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestCrossDomainFIFOProperty is the randomized property test: a world of
+// procs and tasks spread across domains, exchanging tokens through shared
+// Conds, Queues and a Pipe, must produce the exact observable log of the
+// same world built on a single-domain kernel. Runs over several seeds so
+// the interleavings cover same-time cohorts, cross-domain signals, and
+// queue contention.
+func TestCrossDomainFIFOProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ref := runFIFOScenario(t, seed, 1)
+		for _, domains := range []int{2, 4} {
+			got := runFIFOScenario(t, seed, domains)
+			if len(got) != len(ref) {
+				t.Fatalf("seed %d domains %d: %d log entries, want %d", seed, domains, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("seed %d domains %d: log[%d] = %q, want %q", seed, domains, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// runFIFOScenario builds a randomized producer/consumer world and returns
+// its observable log. The structure is seeded-random but identical across
+// domain counts: only the domain placement differs.
+func runFIFOScenario(t *testing.T, seed int64, domains int) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := NewKernel(seed)
+	if domains > 1 {
+		k.SetDomainCount(domains)
+	}
+	var log []string
+	q := NewQueue[int](k, "tokens")
+	cond := NewCond(k, "phase")
+	phase := 0
+	pipe := NewPipe(k, "wire", Duration(50+rng.Int63n(100)), 1e9)
+
+	nProd := 2 + rng.Intn(3)
+	nCons := 2 + rng.Intn(3)
+	nTask := 1 + rng.Intn(3)
+	delays := make([]Duration, nProd)
+	for i := range delays {
+		delays[i] = Duration(rng.Int63n(40))
+	}
+	dom := 0
+	place := func() {
+		if domains > 1 {
+			k.SetDomain(dom % domains)
+			dom++
+		}
+	}
+
+	for i := 0; i < nProd; i++ {
+		i := i
+		place()
+		k.GoID("prod", i, func(p *Proc) {
+			for j := 0; j < 5; j++ {
+				p.Wait(delays[i])
+				d := pipe.Transfer(int64(64 * (j + 1)))
+				p.WaitUntil(d)
+				q.Push(100*i + j)
+				log = append(log, fmt.Sprintf("prod%d pushed %d at %d", i, 100*i+j, int64(p.Now())))
+			}
+			phase++
+			cond.Broadcast()
+		})
+	}
+	for i := 0; i < nCons; i++ {
+		i := i
+		place()
+		k.GoID("cons", i, func(p *Proc) {
+			for j := 0; j < (5*nProd)/nCons; j++ {
+				v := q.Pop(p)
+				log = append(log, fmt.Sprintf("cons%d got %d at %d", i, v, int64(p.Now())))
+				p.Wait(Duration(5 * i))
+			}
+		})
+	}
+	for i := 0; i < nTask; i++ {
+		i := i
+		place()
+		var waits int
+		var step TaskFn
+		step = func(tk *Task) {
+			if phase < nProd {
+				cond.Await(tk)
+				return
+			}
+			if waits < 3 {
+				waits++
+				tk.Then(step)
+				tk.Sleep(Duration(15 * (i + 1)))
+				return
+			}
+			log = append(log, fmt.Sprintf("task%d done at %d", i, int64(tk.Now())))
+		}
+		k.SpawnTaskID("tsk", i, step)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatalf("seed %d domains %d: %v", seed, domains, err)
+	}
+	// Drain leftovers: consumer count may not divide evenly; ignore.
+	return log
+}

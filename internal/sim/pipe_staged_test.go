@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// runStagedScenario drives a pipe with a seeded-random mix of staged
+// transfers — back-to-back zero-occupancy flag-style puts that fuse, bulk
+// puts that contend, quiet gaps that let the pipe idle, and re-entrant
+// staged issues from inside delivery callbacks — and returns the observable
+// log. With stepped=true fusion is disabled and every callback gets its own
+// scheduled event; the equivalence property requires the logs to match.
+func runStagedScenario(t *testing.T, seed int64, stepped bool) ([]string, int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	k := NewKernel(seed)
+	pp := NewPipe(k, "staged", Duration(100+rng.Int63n(200)), 10e9)
+	pp.SetStepped(stepped)
+	var log []string
+	note := func(tag string, id int) func() {
+		return func() { log = append(log, fmt.Sprintf("%s%d at %d", tag, id, int64(k.Now()))) }
+	}
+
+	n := 40 + rng.Intn(40)
+	k.Go("issuer", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				// Bulk put: nonzero occupancy, both sides observed.
+				pp.TransferStaged(int64(1000+rng.Intn(50000)), note("ser", i), note("del", i))
+			case 1:
+				// Flag-style put riding the previous booking: zero
+				// occupancy, fuses when the pipe is still busy.
+				pp.TransferStaged(0, note("fser", i), note("fdel", i))
+			case 2:
+				// Completion-only side.
+				pp.TransferStaged(int64(rng.Intn(4000)), nil, note("only", i))
+			case 3:
+				// Local-only side, then idle long enough to drain.
+				pp.TransferStaged(int64(rng.Intn(4000)), note("lser", i), nil)
+				p.Wait(Duration(rng.Int63n(20000)))
+			case 4:
+				// Re-entrant issue: a delivery callback books another
+				// staged transfer on the same pipe.
+				i := i
+				pp.TransferStaged(int64(rng.Intn(2000)), nil, func() {
+					log = append(log, fmt.Sprintf("redel%d at %d", i, int64(k.Now())))
+					pp.TransferStaged(8, note("reser", i), note("refin", i))
+				})
+			}
+			if rng.Intn(3) == 0 {
+				p.Wait(Duration(rng.Int63n(500)))
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatalf("seed %d stepped=%v: %v", seed, stepped, err)
+	}
+	return log, k.Elided()
+}
+
+// TestTransferStagedEquivalence is the elision safety property: under
+// randomized contention the fused path must produce exactly the stepped
+// path's observable log, while actually eliding events on at least some
+// seeds (otherwise the test proves nothing).
+func TestTransferStagedEquivalence(t *testing.T) {
+	var totalElided int64
+	for seed := int64(0); seed < 20; seed++ {
+		want, zero := runStagedScenario(t, seed, true)
+		if zero != 0 {
+			t.Fatalf("seed %d: stepped run counted %d elided events", seed, zero)
+		}
+		got, elided := runStagedScenario(t, seed, false)
+		totalElided += elided
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fused log has %d entries, stepped has %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: log[%d] fused %q vs stepped %q", seed, i, got[i], want[i])
+			}
+		}
+	}
+	if totalElided == 0 {
+		t.Fatal("no events elided across any seed; fusion never engaged")
+	}
+}
+
+// TestTransferStagedFusesIdleFlagPut pins the motivating case: a
+// zero-occupancy flag put issued while the pipe is still serializing the
+// data put it completes shares the data put's (serialized, delivered) pair
+// and schedules no events of its own.
+func TestTransferStagedFusesIdleFlagPut(t *testing.T) {
+	k := NewKernel(1)
+	pp := NewPipe(k, "link", 3600, 48e9)
+	var order []string
+	k.Go("sender", func(p *Proc) {
+		// 16k floats at 48 GB/s serializes for ~2.7us; the flag put lands
+		// well inside that window.
+		ser1, del1 := pp.TransferStaged(8*16384, func() { order = append(order, "data-local") }, func() { order = append(order, "data-remote") })
+		p.Wait(650) // PutIssueCost-style gap
+		ser2, del2 := pp.TransferStaged(8, func() { order = append(order, "flag-local") }, func() { order = append(order, "flag-remote") })
+		if ser1 != ser2 || del1 != del2 {
+			t.Errorf("flag put did not coincide: (%d,%d) vs (%d,%d)", ser1, del1, ser2, del2)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Elided() != 2 {
+		t.Errorf("elided = %d, want 2 (flag put's local and remote events)", k.Elided())
+	}
+	want := []string{"data-local", "flag-local", "data-remote", "flag-remote"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestTransferStagedContentionFallback pins the fallback: once the pipe
+// idles past a group's firing times, a later staged transfer opens a fresh
+// group and elides nothing.
+func TestTransferStagedContentionFallback(t *testing.T) {
+	k := NewKernel(1)
+	pp := NewPipe(k, "link", 100, 1e9)
+	var got []Time
+	k.Go("sender", func(p *Proc) {
+		_, d1 := pp.TransferStaged(1000, nil, func() { got = append(got, k.Now()) })
+		p.WaitUntil(d1 + 50)
+		_, d2 := pp.TransferStaged(1000, nil, func() { got = append(got, k.Now()) })
+		p.WaitUntil(d2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Elided() != 0 {
+		t.Errorf("elided = %d, want 0 (groups never coincided)", k.Elided())
+	}
+	if len(got) != 2 || got[0] >= got[1] {
+		t.Fatalf("deliveries = %v, want two increasing times", got)
+	}
+}

@@ -203,7 +203,12 @@ type Proc struct {
 	reason  blockReason // diagnostic: what the proc is blocked on
 	liveIdx int         // index into k.live, for O(1) reap
 	daemon  bool        // daemons may remain blocked at simulation end
+	dom     int         // owning virtual-time domain (0 unless sharded)
+	rseq    uint64      // global ready stamp, set by ready(); merge-order key
 }
+
+// Domain reports the virtual-time domain the Proc belongs to.
+func (p *Proc) Domain() int { return p.dom }
 
 // Name returns the diagnostic name given to Go/GoID. Names spawned with an
 // integer id (GoID/GoDaemonID) are rendered lazily, so spawning 100k procs
@@ -351,12 +356,37 @@ var totalDispatched int64
 // (proc resumes + event callbacks) executed by completed Run calls.
 func TotalDispatched() int64 { return atomic.LoadInt64(&totalDispatched) }
 
-// Kernel is the simulation scheduler: a virtual clock, a timed event queue,
-// and a run queue of ready processes.
+// totalElided aggregates elided events (see Kernel.elided) across every
+// kernel in the process, flushed alongside totalDispatched.
+var totalElided int64
+
+// TotalElided reports the process-wide number of scheduler events absorbed
+// by closed-form elision (pipe staged-transfer fusion, lazily-settled put
+// completions) in completed Run calls. An elided event's work still
+// happened — its callbacks rode an existing event or were folded into an
+// accessor — so dispatches + elided is the figure comparable to the
+// pre-elision dispatch count.
+func TotalElided() int64 { return atomic.LoadInt64(&totalElided) }
+
+// Kernel is the simulation scheduler: a virtual clock, one or more
+// virtual-time domains (each a timed event queue plus a run queue of ready
+// actors), and the merge logic that pops them in one deterministic order.
 type Kernel struct {
-	now        Time
-	events     eventHeap
-	runq       ring[actorRef]
+	now Time
+	// domain 0 is embedded: its events / runq fields promote to the names
+	// the single-domain hot path has always used, so a kernel without
+	// SetDomainCount pays nothing for the sharding support (see domain.go).
+	domain
+	extra []*domain // domains 1..n-1; nil = single-domain kernel
+	cur   int       // domain new spawns/events are attributed to
+	// rseqCtr stamps actors as they become ready; the merged scheduler pops
+	// run-queue heads in rseq order — the same global FIFO a single shared
+	// run queue produces.
+	rseqCtr uint64
+	// windowEnd bounds the lone-timer fast paths and runWindow during
+	// Shards bounded-lag execution; maxTime means unwindowed.
+	windowEnd Time
+
 	yieldCh    chan yieldMsg
 	seq        uint64
 	nextID     int
@@ -371,6 +401,11 @@ type Kernel struct {
 	tracer     *Tracer
 	dispatched int64 // proc resumes + event callbacks, for perf reporting
 	flushed    int64 // portion of dispatched already added to totalDispatched
+	// elided counts scheduler events that were never scheduled because a
+	// closed-form path absorbed them: pipe staged-transfer fusion and
+	// lazily-settled put completions (see pipe.go and NoteElided).
+	elided        int64
+	elidedFlushed int64
 }
 
 // shuffleSeed is the process-wide schedule-perturbation seed (0 = off).
@@ -391,8 +426,9 @@ func SetShuffleSeed(seed int64) { shuffleSeed.Store(seed) }
 // mode.
 func NewKernel(seed int64) *Kernel {
 	k := &Kernel{
-		yieldCh: make(chan yieldMsg),
-		rng:     rand.New(rand.NewSource(seed)),
+		yieldCh:   make(chan yieldMsg),
+		rng:       rand.New(rand.NewSource(seed)),
+		windowEnd: maxTime,
 	}
 	if s := shuffleSeed.Load(); s != 0 {
 		k.ShuffleTieBreaks(s ^ seed*0x9E3779B9)
@@ -431,6 +467,15 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // callbacks) this kernel has executed so far.
 func (k *Kernel) Dispatched() int64 { return k.dispatched }
 
+// Elided reports how many scheduler events this kernel absorbed by
+// closed-form elision instead of dispatching.
+func (k *Kernel) Elided() int64 { return k.elided }
+
+// NoteElided records n events absorbed by a closed-form path outside the
+// kernel (model layers folding a pure-bookkeeping completion event into a
+// lazily-settled counter, as internal/ucx does for callback-free puts).
+func (k *Kernel) NoteElided(n int64) { k.elided += n }
+
 // nextSeq returns a monotonically increasing tiebreaker for event ordering.
 func (k *Kernel) nextSeq() uint64 {
 	k.seq++
@@ -450,12 +495,23 @@ func (k *Kernel) eventPri() uint64 {
 	return k.shuffle.Uint64()
 }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
+// At schedules fn to run at absolute virtual time t (clamped to now). The
+// event lands in the current domain's heap (the scheduling actor's domain
+// during Run); AtDomain targets another domain explicitly.
 func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
-	k.events.push(event{at: t, seq: k.nextSeq(), pri: k.eventPri(), phase: phaseCallback, fn: fn})
+	k.curEvents().push(event{at: t, seq: k.nextSeq(), pri: k.eventPri(), phase: phaseCallback, fn: fn})
+}
+
+// curEvents returns the current domain's event heap — domain 0's promoted
+// field on the single-domain hot path.
+func (k *Kernel) curEvents() *eventHeap {
+	if k.cur == 0 {
+		return &k.events
+	}
+	return &k.extra[k.cur-1].events
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -485,6 +541,7 @@ func (k *Kernel) spawn(name string, nameID int, body func(p *Proc)) *Proc {
 		wake:    make(chan struct{}),
 		state:   stateNew,
 		liveIdx: len(k.live),
+		dom:     k.cur,
 	}
 	k.live = append(k.live, p)
 	go func() {
@@ -529,14 +586,18 @@ func (k *Kernel) GoDaemonID(prefix string, id int, body func(p *Proc)) *Proc {
 	return p
 }
 
-// ready appends p to the run queue.
+// ready appends p to its domain's run queue, stamping the global ready
+// sequence the merged scheduler pops in — the same FIFO order a single
+// shared run queue would give.
 func (k *Kernel) ready(p *Proc) {
 	if p.state == stateDone {
 		panic("sim: readying a finished proc " + p.Name())
 	}
 	p.state = stateReady
 	p.reason = blockReason{}
-	k.runq.push(actorRef{p: p})
+	k.rseqCtr++
+	p.rseq = k.rseqCtr
+	k.domOf(p.dom).runq.push(actorRef{p: p})
 }
 
 // resume hands control to p and waits until it yields back (by blocking or
@@ -603,29 +664,32 @@ func (p *Proc) Wait(d Duration) {
 	p.WaitUntil(p.k.now + Time(d))
 }
 
-// WaitUntil parks the Proc until absolute virtual time t.
+// WaitUntil parks the Proc until absolute virtual time t. The fast-path
+// predicates are global (noReady / noEvents scan every domain), so a
+// sharded kernel makes exactly the decisions a single-queue kernel would.
 func (p *Proc) WaitUntil(t Time) {
 	k := p.k
 	if t <= k.now {
 		// Fused fast path: with no ready peers and no pending events, a
 		// zero-length wait would bounce through the scheduler (two channel
 		// handoffs) only to be resumed immediately with the clock unmoved.
-		if k.runq.empty() && len(k.events) == 0 {
+		if k.noReady() && k.noEvents() {
 			return
 		}
 		t = k.now
-	} else if k.runq.empty() && !k.stopped && (len(k.events) == 0 || k.events[0].at > t) {
+	} else if k.noReady() && !k.stopped && t < k.windowEnd && k.noEventAtOrBefore(t) {
 		// Lone-timer fast path: no proc is ready and the earliest pending
 		// event fires strictly after t, so the scheduler's only possible move
 		// is to advance the clock to t and resume this proc. (An event at
 		// exactly t would still win the (time, phase, seq) tie-break — this
 		// wake would get wake phase and the newest seq — so that case takes
-		// the slow path.) Do
-		// the forced move in place, skipping both goroutine handoffs.
+		// the slow path. Under a Shards bounded-lag window the clock must
+		// not jump past windowEnd, where an unseen cross-domain event may
+		// land.) Do the forced move in place, skipping both handoffs.
 		k.now = t
 		return
 	}
-	k.events.push(event{at: t, seq: k.nextSeq(), phase: phaseWake, proc: p})
+	k.domOf(p.dom).events.push(event{at: t, seq: k.nextSeq(), phase: phaseWake, proc: p})
 	p.block(stateTimed, blockReason{kind: blockTimer, t: t})
 }
 
@@ -634,7 +698,7 @@ func (p *Proc) WaitUntil(t Time) {
 // straight back (ready procs always run before pending events).
 func (p *Proc) Yield() {
 	k := p.k
-	if k.runq.empty() {
+	if k.noReady() {
 		return
 	}
 	k.ready(p)
@@ -649,24 +713,24 @@ func (p *Proc) Yield() {
 func (k *Kernel) dispatch(e event) {
 	if e.proc != nil {
 		p := e.proc
-		p.state = stateReady
-		p.reason = blockReason{}
-		if k.runq.empty() {
+		if k.noReady() {
+			p.state = stateReady
+			p.reason = blockReason{}
 			k.resume(p)
 			return
 		}
-		k.runq.push(actorRef{p: p})
+		k.ready(p)
 		return
 	}
 	if e.task != nil {
 		t := e.task
-		t.state = stateReady
-		t.reason = blockReason{}
-		if k.runq.empty() {
+		if k.noReady() {
+			t.state = stateReady
+			t.reason = blockReason{}
 			k.runTask(t)
 			return
 		}
-		k.runq.push(actorRef{t: t})
+		k.readyTask(t)
 		return
 	}
 	k.dispatched++
@@ -684,9 +748,38 @@ func (k *Kernel) Run() error {
 	k.running = true
 	defer func() {
 		k.running = false
-		atomic.AddInt64(&totalDispatched, k.dispatched-k.flushed)
-		k.flushed = k.dispatched
+		k.flushCounters()
 	}()
+	if k.extra == nil {
+		k.runSingle()
+	} else {
+		k.runMerged()
+	}
+	if k.panicked != nil {
+		return k.panicked
+	}
+	if k.stopped {
+		// A stopped kernel abandons blocked procs by design; drain releases
+		// their goroutines so the kernel is fully collectable.
+		k.drain()
+		return nil
+	}
+	for _, p := range k.live {
+		if !p.daemon {
+			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
+		}
+	}
+	for _, t := range k.liveTasks {
+		if !t.daemon {
+			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
+		}
+	}
+	return nil
+}
+
+// runSingle is the single-domain scheduler loop — the hot path every
+// unsharded kernel runs, byte-for-byte the pre-domain kernel's Run body.
+func (k *Kernel) runSingle() {
 	for !k.stopped && k.panicked == nil {
 		if !k.runq.empty() {
 			a := k.runq.pop()
@@ -714,26 +807,6 @@ func (k *Kernel) Run() error {
 		}
 		break
 	}
-	if k.panicked != nil {
-		return k.panicked
-	}
-	if k.stopped {
-		// A stopped kernel abandons blocked procs by design; drain releases
-		// their goroutines so the kernel is fully collectable.
-		k.drain()
-		return nil
-	}
-	for _, p := range k.live {
-		if !p.daemon {
-			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
-		}
-	}
-	for _, t := range k.liveTasks {
-		if !t.daemon {
-			return fmt.Errorf("sim: deadlock at %v: %s", k.now, k.describeBlocked())
-		}
-	}
-	return nil
 }
 
 // Stop terminates the simulation at the end of the current dispatch. Blocked

@@ -58,8 +58,10 @@ type Task struct {
 
 	state   procState
 	reason  blockReason
-	liveIdx int // index into k.liveTasks, for O(1) reap
+	liveIdx int    // index into k.liveTasks, for O(1) reap
 	daemon  bool
+	dom     int    // owning virtual-time domain (0 unless sharded)
+	rseq    uint64 // global ready stamp, set by readyTask(); merge-order key
 
 	// Goroutine escape hatch: CallProc runs a blocking func(p *Proc) body on
 	// a lazily created, persistent bridge proc owned by this Task.
@@ -98,6 +100,7 @@ func (k *Kernel) spawnTask(prefix string, id int, daemon bool, fn TaskFn) *Task 
 		state:   stateNew,
 		liveIdx: len(k.liveTasks),
 		daemon:  daemon,
+		dom:     k.cur,
 	}
 	k.liveTasks = append(k.liveTasks, t)
 	k.readyTask(t)
@@ -128,15 +131,21 @@ func (k *Kernel) SpawnTaskDaemonID(prefix string, id int, fn TaskFn) *Task {
 	return k.spawnTask(prefix, id, true, fn)
 }
 
-// readyTask appends t to the run queue (the Task analogue of ready).
+// readyTask appends t to its domain's run queue (the Task analogue of
+// ready), stamping the same global ready sequence.
 func (k *Kernel) readyTask(t *Task) {
 	if t.state == stateDone {
 		panic("sim: readying a finished task " + t.Name())
 	}
 	t.state = stateReady
 	t.reason = blockReason{}
-	k.runq.push(actorRef{t: t})
+	k.rseqCtr++
+	t.rseq = k.rseqCtr
+	k.domOf(t.dom).runq.push(actorRef{t: t})
 }
+
+// Domain reports the virtual-time domain the Task belongs to.
+func (t *Task) Domain() int { return t.dom }
 
 // readyActor readies whichever actor the ref holds. It is how the waiter
 // rings wake a mixed proc/task FIFO without branching at every push.
@@ -259,20 +268,22 @@ func (t *Task) SleepUntil(at Time) {
 		panic("sim: task " + t.Name() + " suspended twice in one step")
 	}
 	if at <= k.now {
-		if k.runq.empty() && len(k.events) == 0 {
+		if k.noReady() && k.noEvents() {
 			// Fused zero-length wait: nothing else can run; continue inline.
 			t.susp = suspInline
 			return
 		}
 		at = k.now
-	} else if k.runq.empty() && !k.stopped && (len(k.events) == 0 || k.events[0].at > at) {
+	} else if k.noReady() && !k.stopped && at < k.windowEnd && k.noEventAtOrBefore(at) {
 		// Lone-timer fast path: the scheduler's only possible move is to
-		// advance the clock to at and run this task's continuation.
+		// advance the clock to at and run this task's continuation. (The
+		// predicates are global across domains, and a Shards bounded-lag
+		// window caps the jump — see Proc.WaitUntil.)
 		k.now = at
 		t.susp = suspInline
 		return
 	}
-	k.events.push(event{at: at, seq: k.nextSeq(), phase: phaseWake, task: t})
+	k.domOf(t.dom).events.push(event{at: at, seq: k.nextSeq(), phase: phaseWake, task: t})
 	t.susp = suspParked
 	t.state = stateTimed
 	t.reason = blockReason{kind: blockTimer, t: at}
@@ -330,6 +341,7 @@ func (k *Kernel) newBridgeProc(t *Task) *Proc {
 		state:   stateNew,
 		liveIdx: len(k.live),
 		daemon:  true,
+		dom:     t.dom,
 	}
 	k.live = append(k.live, p)
 	go k.bridgeLoop(t, p)

@@ -90,6 +90,12 @@ type Worker struct {
 	// outstanding counts puts issued but whose callbacks have not yet
 	// executed; MPI_Wait uses it to know when all puts are flushed.
 	outstanding int
+	// lazyDone holds the local-completion times of puts issued without a
+	// callback. Their completion event would only decrement outstanding,
+	// and outstanding is observed solely through HasPending/Outstanding —
+	// so instead of scheduling an event per put, settle() folds entries
+	// whose time has passed into the counter at observation time.
+	lazyDone []sim.Time
 
 	// Continuation-drain state (ProgressTask): the callback in flight, the
 	// items-processed count, and the caller's continuation, plus the step
@@ -219,10 +225,43 @@ func (w *Worker) stepRunCb(t *sim.Task) {
 }
 
 // HasPending reports whether callbacks are queued or puts are in flight.
-func (w *Worker) HasPending() bool { return len(w.cbq) > 0 || w.outstanding > 0 }
+func (w *Worker) HasPending() bool {
+	w.settle()
+	return len(w.cbq) > 0 || w.outstanding > 0
+}
 
 // Outstanding reports puts whose completion callbacks have not run yet.
-func (w *Worker) Outstanding() int { return w.outstanding }
+func (w *Worker) Outstanding() int {
+	w.settle()
+	return w.outstanding
+}
+
+// lazyComplete records a callback-free put whose local completion at ser
+// will be settled lazily instead of by a scheduled event.
+func (w *Worker) lazyComplete(ser sim.Time) {
+	w.lazyDone = append(w.lazyDone, ser)
+	w.Ctx.K.NoteElided(1)
+}
+
+// settle retires lazy completions whose time has passed. The scheduled
+// event it replaces fires in the callback phase at exactly ser, before any
+// proc wakes at that time — so folding entries with ser <= now is
+// observably identical for every reader.
+func (w *Worker) settle() {
+	if len(w.lazyDone) == 0 {
+		return
+	}
+	now := w.Ctx.K.Now()
+	kept := w.lazyDone[:0]
+	for _, t := range w.lazyDone {
+		if t <= now {
+			w.outstanding--
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	w.lazyDone = kept
+}
 
 // queueCallback records a completion for the next Progress call.
 func (w *Worker) queueCallback(cb func(p *sim.Proc)) {
@@ -344,16 +383,18 @@ func (ep *Endpoint) PutPartitionCommit(k Rkey, part int, src []float64, cb func(
 	// completes *locally* once the pipe has serialized it (UCX put
 	// completion semantics: the source buffer is reusable, the remote
 	// write is not yet guaranteed visible). Ordering of subsequent puts on
-	// the same endpoint is preserved by the pipe's FIFO.
-	delivered := ep.route.Transfer(int64(8 * len(src)))
-	kern := ep.w.Ctx.K
-	kern.At(delivered-sim.Time(ep.route.Latency), func() {
-		ep.w.outstanding--
-		if cb != nil {
-			ep.w.queueCallback(cb)
-		}
-	})
-	kern.At(delivered, func() { copy(dst, src) })
+	// the same endpoint is preserved by the pipe's FIFO (and, when staged
+	// deliveries fuse, by the group's append order).
+	if cb == nil {
+		ser, _ := ep.route.TransferStaged(int64(8*len(src)), nil, func() { copy(dst, src) })
+		ep.w.lazyComplete(ser)
+		return
+	}
+	w := ep.w
+	ep.route.TransferStaged(int64(8*len(src)), func() {
+		w.outstanding--
+		w.queueCallback(cb)
+	}, func() { copy(dst, src) })
 }
 
 // PutFlag issues a small RMA put setting remote flag idx to val (the
@@ -379,15 +420,16 @@ func (ep *Endpoint) PutFlagCommit(k Rkey, idx int, val int64, cb func(p *sim.Pro
 		tr.Instant(fmt.Sprintf("worker%d", ep.w.Addr), fmt.Sprintf("put_flag %d", idx), ep.w.Ctx.K.Now())
 	}
 	ep.w.outstanding++
-	delivered := ep.route.Transfer(8)
-	kern := ep.w.Ctx.K
-	kern.At(delivered-sim.Time(ep.route.Latency), func() {
-		ep.w.outstanding--
-		if cb != nil {
-			ep.w.queueCallback(cb)
-		}
-	})
-	kern.At(delivered, func() { k.flags.Set(idx, val) })
+	if cb == nil {
+		ser, _ := ep.route.TransferStaged(8, nil, func() { k.flags.Set(idx, val) })
+		ep.w.lazyComplete(ser)
+		return
+	}
+	w := ep.w
+	ep.route.TransferStaged(8, func() {
+		w.outstanding--
+		w.queueCallback(cb)
+	}, func() { k.flags.Set(idx, val) })
 }
 
 // ErrNoIPC is returned by RkeyPtr for peers that cannot be mapped directly.
